@@ -1,0 +1,274 @@
+package zerotune
+
+// The benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation. Each benchmark regenerates its artifact and
+// prints the same rows/series the paper reports (via b.Log, visible with
+// `go test -bench=. -v` or in -benchmem output).
+//
+// The shared lab (training corpus + trained models) is built once, outside
+// the timed region. Scale with ZEROTUNE_BENCH_SCALE=quick|default|paper;
+// the default keeps the whole suite within minutes on a laptop.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"zerotune/internal/experiments"
+)
+
+var (
+	benchOnce sync.Once
+	benchL    *experiments.Lab
+)
+
+func benchLab(b *testing.B) *experiments.Lab {
+	b.Helper()
+	benchOnce.Do(func() {
+		var cfg experiments.Config
+		switch os.Getenv("ZEROTUNE_BENCH_SCALE") {
+		case "paper":
+			cfg = experiments.PaperScaleConfig()
+		case "quick":
+			cfg = experiments.Config{TrainQueries: 400, TestPerType: 30, Epochs: 12,
+				Hidden: 24, FewShotQueries: 60, TuneQueriesPerType: 3, Seed: 1}
+		default:
+			cfg = experiments.DefaultConfig()
+		}
+		benchL = experiments.NewLab(cfg)
+	})
+	// Warm the shared model outside the timed loop.
+	if _, err := benchL.ZeroTune(); err != nil {
+		b.Fatal(err)
+	}
+	return benchL
+}
+
+// report logs the artifact once per benchmark run.
+func report(b *testing.B, res fmt.Stringer) {
+	b.Helper()
+	b.Log("\n" + res.String())
+}
+
+// BenchmarkFig3Microbenchmark regenerates Fig. 3: latency and throughput vs
+// parallelism degree with the operator-grouping jump.
+func BenchmarkFig3Microbenchmark(b *testing.B) {
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig3(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}
+
+// BenchmarkTable4Seen regenerates Table IV ①: q-errors on seen structures.
+func BenchmarkTable4Seen(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := l.RunTable4Seen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}
+
+// BenchmarkTable4Unseen regenerates Table IV ②: unseen structures.
+func BenchmarkTable4Unseen(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := l.RunTable4Unseen()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}
+
+// BenchmarkTable4Benchmarks regenerates Table IV ③: public benchmarks.
+func BenchmarkTable4Benchmarks(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := l.RunTable4Benchmarks()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}
+
+// BenchmarkFig5ModelComparison regenerates Figs. 1/5: ZeroTune vs the
+// flat-vector architectures.
+func BenchmarkFig5ModelComparison(b *testing.B) {
+	l := benchLab(b)
+	if _, err := l.FlatBaselines(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := l.RunFig5ModelComparison()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}
+
+// BenchmarkFig6FewShot regenerates Fig. 6: few-shot fine-tuning on complex
+// joins.
+func BenchmarkFig6FewShot(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := l.RunFig6FewShot()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}
+
+// BenchmarkFig7Parallelism regenerates Fig. 7: q-errors per parallelism
+// category (all four panels).
+func BenchmarkFig7Parallelism(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		a, err := l.RunFig7a()
+		if err != nil {
+			b.Fatal(err)
+		}
+		p7b, err := l.RunFig7b()
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, _, err := l.RunFig7c()
+		if err != nil {
+			b.Fatal(err)
+		}
+		zero, few, err := l.RunFig7d()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = a.String() + "\n" + p7b.String() + "\n" + c.String() + "\n" + zero.String() + "\n" + few.String()
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig8Parameters regenerates Fig. 8: median q-errors across the
+// five unseen-parameter sweeps.
+func BenchmarkFig8Parameters(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = ""
+		for _, fn := range []func() (*experiments.Fig8Result, error){
+			l.RunFig8TupleWidth, l.RunFig8EventRate, l.RunFig8WindowDuration,
+			l.RunFig8WindowLength, l.RunFig8Workers,
+		} {
+			res, err := fn()
+			if err != nil {
+				b.Fatal(err)
+			}
+			out += res.String() + "\n"
+		}
+	}
+	b.Log("\n" + out)
+}
+
+// BenchmarkFig9DataEfficiency regenerates Fig. 9: OptiSample vs Random
+// training-data enumeration.
+func BenchmarkFig9DataEfficiency(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := l.RunFig9DataEfficiency(nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}
+
+// BenchmarkFig10aSpeedup regenerates Fig. 10a: mean speed-ups of ZeroTune
+// tuning over the greedy heuristic.
+func BenchmarkFig10aSpeedup(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := l.RunFig10aSpeedup()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}
+
+// BenchmarkFig10bDhalion regenerates Fig. 10b: weighted cost vs Dhalion.
+func BenchmarkFig10bDhalion(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := l.RunFig10bDhalion()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}
+
+// BenchmarkFig11Ablation regenerates Fig. 11: the feature ablation.
+func BenchmarkFig11Ablation(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := l.RunFig11Ablation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}
+
+// BenchmarkAblationReadout quantifies this reproduction's structured
+// read-out design decision against the paper's plain sink-state read-out.
+func BenchmarkAblationReadout(b *testing.B) {
+	l := benchLab(b)
+	b.ResetTimer()
+	var last fmt.Stringer
+	for i := 0; i < b.N; i++ {
+		res, err := l.RunReadoutAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	report(b, last)
+}

@@ -1,0 +1,13 @@
+// Package zerotune is a from-scratch Go reproduction of "ZEROTUNE: Learned
+// Zero-Shot Cost Models for Parallelism Tuning in Stream Processing"
+// (Agnihotri et al., ICDE 2024).
+//
+// The implementation lives under internal/: the streaming-engine simulator
+// that stands in for the paper's Flink/CloudLab testbed, the transferable
+// featurization and parallel graph representation, the zero-shot GNN cost
+// model, the OptiSample training-data strategy, the parallelism optimizer
+// with its greedy and Dhalion baselines, and one experiment driver per
+// table and figure of the paper's evaluation. The cmd/zerotune CLI and the
+// runnable programs under examples/ are the entry points; bench_test.go in
+// this directory regenerates every experiment via `go test -bench`.
+package zerotune

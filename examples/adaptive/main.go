@@ -1,0 +1,71 @@
+// Adaptive: runtime re-tuning with the zero-shot model — the extension the
+// paper mentions in Sec. I ("the proposed model can also be used to
+// readjust parallelism degree at runtime"). A controller watches the
+// observed source rate of a running query; when it drifts, it re-runs the
+// what-if optimizer against the new rate and reconfigures only when the
+// predicted win justifies it. No trial deployments, no oscillation.
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zerotune/internal/adaptive"
+	"zerotune/internal/cluster"
+	"zerotune/internal/core"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/simulator"
+	"zerotune/internal/workload"
+)
+
+func main() {
+	fmt.Println("training the cost model on 2500 synthetic queries (~1 min)...")
+	gen := workload.NewSeenGenerator(31)
+	items, err := gen.Generate(workload.SeenRanges().Structures, 2500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.DefaultTrainOptions()
+	opts.Train.Epochs = 50
+	zt, _, err := core.Train(items, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Deploy the spike-detection query at a calm overnight rate.
+	q := queryplan.SpikeDetection(20_000)
+	c, err := cluster.New(6, cluster.SeenTypes(), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctl := adaptive.New(zt.Estimator())
+	st, err := ctl.Deploy(q, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninitial deployment at 20k ev/s: degrees %v\n\n", st.Plan.DegreesVector())
+
+	// The day unfolds: rates drift upward into the morning peak and back.
+	fmt.Printf("%10s %12s %-22s %14s %14s\n", "observed", "reconfig?", "degrees", "latency (ms)", "tpt (ev/s)")
+	for _, rate := range []float64{22_000, 60_000, 250_000, 400_000, 120_000, 25_000} {
+		changed, err := ctl.Observe(st, c, rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Ground truth of the currently running plan at the observed rate.
+		truth, err := simulator.Simulate(st.Plan.Clone(), c, simulator.Options{DisableNoise: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		mark := ""
+		if changed {
+			mark = "reconfigured"
+		}
+		fmt.Printf("%10.0f %12s %-22s %14.2f %14.0f\n",
+			rate, mark, fmt.Sprint(st.Plan.DegreesVector()), truth.LatencyMs, truth.ThroughputEPS)
+	}
+	fmt.Printf("\ntotal reconfigurations: %d (each one a single what-if optimization, zero trial runs)\n",
+		st.Reconfigurations)
+}

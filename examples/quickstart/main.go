@@ -1,0 +1,61 @@
+// Quickstart: train a small zero-shot cost model on synthetic workloads,
+// then predict the cost of a query it has never seen.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/core"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/workload"
+)
+
+func main() {
+	// 1. Collect a labelled training workload: synthetic queries over the
+	// paper's seen parameter grid, parallelism degrees enumerated with
+	// OptiSample, costs measured on the simulated DSP cluster.
+	fmt.Println("generating 1500 labelled training queries...")
+	gen := workload.NewSeenGenerator(1)
+	items, err := gen.Generate(workload.SeenRanges().Structures, 1500)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Train the zero-shot model (a few seconds at this scale).
+	fmt.Println("training the zero-shot cost model...")
+	opts := core.DefaultTrainOptions()
+	opts.Train.Epochs = 40
+	zt, stats, err := core.Train(items, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %s (final loss %.4f)\n\n", stats.Duration.Round(1e8), stats.FinalLoss)
+
+	// 3. Predict costs for an unseen query — the spike-detection benchmark —
+	// on a 4-worker cluster, across a range of parallelism degrees, without
+	// deploying anything.
+	c, err := cluster.New(4, cluster.SeenTypes(), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	q := queryplan.SpikeDetection(300_000)
+	fmt.Println("what-if costs for spike detection at 300k events/s:")
+	fmt.Printf("%10s %14s %16s\n", "degree", "latency (ms)", "throughput (ev/s)")
+	for _, degree := range []int{1, 2, 4, 8, 16} {
+		p := queryplan.NewPQP(q)
+		for _, o := range q.Ops {
+			if o.Type != queryplan.OpSource && o.Type != queryplan.OpSink {
+				p.SetDegree(o.ID, degree)
+			}
+		}
+		pred, err := zt.Predict(p, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %14.2f %16.0f\n", degree, pred.LatencyMs, pred.ThroughputEPS)
+	}
+}

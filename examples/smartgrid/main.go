@@ -1,0 +1,94 @@
+// Smart grid: the DEBS smart-grid benchmark (local and global load
+// queries, 10 s sliding window with a 3 s slide). Shows zero-shot what-if
+// analysis across cluster sizes: the model prices both queries on clusters
+// it has and has not seen, without deploying anything.
+//
+//	go run ./examples/smartgrid
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/core"
+	"zerotune/internal/metrics"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/simulator"
+	"zerotune/internal/workload"
+)
+
+func main() {
+	fmt.Println("training the cost model on 1000 synthetic queries...")
+	gen := workload.NewSeenGenerator(21)
+	items, err := gen.Generate(workload.SeenRanges().Structures, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.DefaultTrainOptions()
+	opts.Train.Epochs = 35
+	zt, _, err := core.Train(items, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Note: the smart-grid queries use a 10 s sliding window — beyond the
+	// training grid's largest window duration (3 s), so latency predictions
+	// extrapolate (the paper's Fig. 8c shows exactly this effect at the
+	// extreme ends of unseen parameter ranges).
+	const rate = 100_000 // smart-plug readings per second
+	queries := []*queryplan.Query{
+		queryplan.SmartGridLocal(rate),
+		queryplan.SmartGridGlobal(rate),
+	}
+
+	// Price both queries on a seen cluster type (m510) and an unseen one
+	// (c6420) — the zero-shot claim is that the second works too.
+	pools := []struct {
+		name  string
+		types []cluster.NodeType
+	}{
+		{"seen hardware (m510)", func() []cluster.NodeType {
+			t, _ := cluster.TypeByName("m510")
+			return []cluster.NodeType{t}
+		}()},
+		{"unseen hardware (c6420)", func() []cluster.NodeType {
+			t, _ := cluster.TypeByName("c6420")
+			return []cluster.NodeType{t}
+		}()},
+	}
+
+	for _, pool := range pools {
+		fmt.Printf("\n=== %s ===\n", pool.name)
+		for _, q := range queries {
+			fmt.Printf("%s at %d ev/s:\n", q.Name, rate)
+			fmt.Printf("%10s %10s %16s %18s %10s\n",
+				"workers", "degree", "pred lat (ms)", "pred tpt (ev/s)", "q-err lat")
+			for _, workers := range []int{2, 4, 8} {
+				c, err := cluster.New(workers, pool.types, 10)
+				if err != nil {
+					log.Fatal(err)
+				}
+				p := queryplan.NewPQP(q)
+				for _, o := range q.Ops {
+					if o.Type == queryplan.OpAggregate {
+						p.SetDegree(o.ID, 2*workers)
+					}
+				}
+				pred, err := zt.Predict(p, c)
+				if err != nil {
+					log.Fatal(err)
+				}
+				// Compare against the simulated ground truth so the
+				// example shows real q-errors.
+				truth, err := simulator.Simulate(p, c, simulator.Options{DisableNoise: true})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("%10d %10d %16.1f %18.0f %10.2f\n",
+					workers, 2*workers, pred.LatencyMs, pred.ThroughputEPS,
+					metrics.QError(truth.LatencyMs, pred.LatencyMs))
+			}
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Spike detection: the Intel-lab sensor benchmark of the paper's Exp. 1 ③.
+// Trains a model, lets the ZeroTune optimizer pick parallelism degrees for
+// the spike-detection query, and verifies the choice against the simulated
+// ground truth alongside a naive single-instance deployment.
+//
+//	go run ./examples/spikedetection
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/core"
+	"zerotune/internal/optimizer"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/simulator"
+	"zerotune/internal/workload"
+)
+
+func main() {
+	fmt.Println("training the cost model on 2500 synthetic queries (~1 min)...")
+	gen := workload.NewSeenGenerator(7)
+	items, err := gen.Generate(workload.SeenRanges().Structures, 2500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.DefaultTrainOptions()
+	opts.Train.Epochs = 50
+	zt, _, err := core.Train(items, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The benchmark query: sensor stream → 2 s moving average → spike
+	// filter → sink, at a rate that saturates a single instance.
+	const rate = 400_000
+	q := queryplan.SpikeDetection(rate)
+	c, err := cluster.New(4, cluster.SeenTypes(), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("\ntuning parallelism for spike detection at %d ev/s on 4 workers...\n", rate)
+	res, err := zt.Tune(q, c, optimizer.DefaultTuneOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recommended degrees (src, avg, spike, sink): %v (from %d candidates)\n\n",
+		res.Plan.DegreesVector(), res.Candidates)
+
+	// Ground truth: execute both the recommendation and the naive plan on
+	// the simulated cluster.
+	report := func(name string, p *queryplan.PQP) {
+		sim, err := simulator.Simulate(p, c, simulator.Options{DisableNoise: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bp := ""
+		if sim.Backpressured {
+			bp = "  (backpressured!)"
+		}
+		fmt.Printf("%-22s latency %10.2f ms   throughput %10.0f ev/s%s\n",
+			name, sim.LatencyMs, sim.ThroughputEPS, bp)
+	}
+	naive := queryplan.NewPQP(q)
+	if err := cluster.Place(naive, c); err != nil {
+		log.Fatal(err)
+	}
+	report("naive (all degrees 1):", naive)
+	report("zerotune recommended:", res.Plan)
+}

@@ -1,0 +1,110 @@
+// Tuning: the full Exp. 5 workflow on one query — compare the parallelism
+// degrees picked by ZeroTune's what-if optimizer, the greedy hill-climbing
+// heuristic, and the Dhalion backpressure controller, counting how many
+// real deployments each one needed.
+//
+//	go run ./examples/tuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/core"
+	"zerotune/internal/optimizer"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/simulator"
+	"zerotune/internal/workload"
+)
+
+func observe(p *queryplan.PQP, c *cluster.Cluster) (optimizer.Estimate, error) {
+	res, err := simulator.Simulate(p, c, simulator.Options{DisableNoise: true})
+	if err != nil {
+		return optimizer.Estimate{}, err
+	}
+	return optimizer.Estimate{LatencyMs: res.LatencyMs, ThroughputEPS: res.ThroughputEPS}, nil
+}
+
+func observeRuntime(p *queryplan.PQP, c *cluster.Cluster) (optimizer.Estimate, map[int]optimizer.Diagnosis, error) {
+	res, err := simulator.Simulate(p, c, simulator.Options{DisableNoise: true})
+	if err != nil {
+		return optimizer.Estimate{}, nil, err
+	}
+	diag := make(map[int]optimizer.Diagnosis, len(res.OpStats))
+	for id, st := range res.OpStats {
+		diag[id] = optimizer.Diagnosis{Utilization: st.Utilization}
+	}
+	return optimizer.Estimate{LatencyMs: res.LatencyMs, ThroughputEPS: res.ThroughputEPS}, diag, nil
+}
+
+func main() {
+	fmt.Println("training the cost model on 2500 synthetic queries (~1 min)...")
+	gen := workload.NewSeenGenerator(3)
+	items, err := gen.Generate(workload.SeenRanges().Structures, 2500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := core.DefaultTrainOptions()
+	opts.Train.Epochs = 50
+	zt, _, err := core.Train(items, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The tuning task: a 2-way join at 500k ev/s per stream on 6 workers.
+	tGen := workload.NewSeenGenerator(99)
+	q, _, err := tGen.SampleQuery("2-way-join", 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, o := range q.Sources() {
+		o.EventRate = 500_000
+	}
+	c, err := cluster.New(6, cluster.SeenTypes(), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntuning a 2-way join (%d operators) at 500k ev/s per stream on 6 workers\n\n", len(q.Ops))
+
+	// ZeroTune: what-if predictions only; zero real deployments before the
+	// final one.
+	tuned, err := zt.Tune(q, c, optimizer.DefaultTuneOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ztTrue, err := observe(tuned.Plan, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Greedy: every probe is a real deployment.
+	greedy, err := optimizer.Greedy(q, c, observe, 20, 0.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	grTrue, err := observe(greedy.Plan, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Dhalion: every reconfiguration round redeploys the query.
+	dh, err := optimizer.Dhalion(q, c, observeRuntime, optimizer.DefaultDhalionOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dhTrue, err := observe(dh.Plan, c)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-10s %-28s %14s %16s %14s\n", "tuner", "degrees", "latency (ms)", "tpt (ev/s)", "deployments")
+	fmt.Printf("%-10s %-28s %14.2f %16.0f %14s\n", "zerotune", fmt.Sprint(tuned.Plan.DegreesVector()), ztTrue.LatencyMs, ztTrue.ThroughputEPS, "1 (what-if)")
+	fmt.Printf("%-10s %-28s %14.2f %16.0f %14d\n", "greedy", fmt.Sprint(greedy.Plan.DegreesVector()), grTrue.LatencyMs, grTrue.ThroughputEPS, greedy.Observations)
+	fmt.Printf("%-10s %-28s %14.2f %16.0f %14d\n", "dhalion", fmt.Sprint(dh.Plan.DegreesVector()), dhTrue.LatencyMs, dhTrue.ThroughputEPS, dh.Rounds+1)
+
+	fmt.Printf("\nspeed-up vs greedy:  latency %.2fx, throughput %.2fx\n",
+		grTrue.LatencyMs/ztTrue.LatencyMs, ztTrue.ThroughputEPS/grTrue.ThroughputEPS)
+	fmt.Printf("speed-up vs dhalion: latency %.2fx, throughput %.2fx\n",
+		dhTrue.LatencyMs/ztTrue.LatencyMs, ztTrue.ThroughputEPS/dhTrue.ThroughputEPS)
+}

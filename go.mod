@@ -1,0 +1,3 @@
+module zerotune
+
+go 1.22

@@ -1,0 +1,149 @@
+// Package adaptive implements runtime re-tuning on top of the zero-shot
+// cost model. The paper focuses on *initial* parallelism selection but
+// notes the model "can also be used to readjust parallelism degree at
+// runtime" (Sec. I); this package is that extension: a controller that
+// watches the observed source rates and, when they drift past a threshold,
+// re-runs the what-if optimizer against the new rates — no trial
+// deployments, no oscillation.
+package adaptive
+
+import (
+	"fmt"
+	"math"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/optimizer"
+	"zerotune/internal/queryplan"
+)
+
+// Controller re-tunes a running query when its workload drifts.
+type Controller struct {
+	// Estimator prices candidate plans (normally the trained model).
+	Estimator optimizer.CostEstimator
+	// TuneOptions configure each optimization pass.
+	TuneOptions optimizer.TuneOptions
+	// DriftThreshold is the relative change in total source rate that
+	// triggers re-tuning (0.3 = re-tune on ±30% drift).
+	DriftThreshold float64
+	// MinImprovement is the minimum predicted relative cost improvement
+	// required to actually reconfigure — reconfiguration is expensive, so
+	// marginal wins are skipped.
+	MinImprovement float64
+}
+
+// New returns a controller with sane defaults for the optional fields.
+func New(est optimizer.CostEstimator) *Controller {
+	return &Controller{
+		Estimator:      est,
+		TuneOptions:    optimizer.DefaultTuneOptions(),
+		DriftThreshold: 0.3,
+		MinImprovement: 0.05,
+	}
+}
+
+// State is the controller's view of one running query.
+type State struct {
+	Query *queryplan.Query // the query with the rates the plan was tuned for
+	Plan  *queryplan.PQP
+	// TunedRate is the total source rate the current plan was chosen for.
+	TunedRate float64
+	// Reconfigurations counts how many times the controller changed the
+	// running plan.
+	Reconfigurations int
+}
+
+// totalRate sums the declared source rates of a query.
+func totalRate(q *queryplan.Query) float64 {
+	var sum float64
+	for _, s := range q.Sources() {
+		sum += s.EventRate
+	}
+	return sum
+}
+
+// Deploy performs the initial tuning for the query's declared rates.
+func (c *Controller) Deploy(q *queryplan.Query, cl *cluster.Cluster) (*State, error) {
+	if c.Estimator == nil {
+		return nil, fmt.Errorf("adaptive: controller has no estimator")
+	}
+	res, err := optimizer.Tune(q, cl, c.Estimator, c.TuneOptions)
+	if err != nil {
+		return nil, err
+	}
+	return &State{Query: q, Plan: res.Plan, TunedRate: totalRate(q)}, nil
+}
+
+// scaledQuery returns a copy of q with every source rate scaled by factor.
+func scaledQuery(q *queryplan.Query, factor float64) *queryplan.Query {
+	clone := &queryplan.Query{Name: q.Name, Template: q.Template, Edges: append([]queryplan.Edge{}, q.Edges...)}
+	for _, o := range q.Ops {
+		op := *o
+		if op.Type == queryplan.OpSource {
+			op.EventRate *= factor
+		}
+		clone.Ops = append(clone.Ops, &op)
+	}
+	return clone
+}
+
+// Observe feeds the controller a new total source-rate observation. When
+// the drift against the tuned rate exceeds the threshold, the controller
+// re-tunes against the observed rate and reconfigures if the predicted
+// weighted cost of the new plan beats the current plan's (re-priced at the
+// observed rate) by at least MinImprovement. It returns whether a
+// reconfiguration happened.
+func (c *Controller) Observe(st *State, cl *cluster.Cluster, observedRate float64) (bool, error) {
+	if st == nil || st.Plan == nil {
+		return false, fmt.Errorf("adaptive: Observe on an undeployed state")
+	}
+	if observedRate <= 0 {
+		return false, fmt.Errorf("adaptive: non-positive observed rate %v", observedRate)
+	}
+	drift := observedRate/st.TunedRate - 1
+	if drift < 0 {
+		drift = -drift
+	}
+	if drift < c.DriftThreshold {
+		return false, nil
+	}
+	// Re-tune against the observed workload.
+	factor := observedRate / totalRate(st.Query)
+	shifted := scaledQuery(st.Query, factor)
+	res, err := optimizer.Tune(shifted, cl, c.Estimator, c.TuneOptions)
+	if err != nil {
+		return false, err
+	}
+	// Price the currently running degrees under the new rates.
+	current := queryplan.NewPQP(shifted)
+	for _, o := range shifted.Ops {
+		current.SetDegree(o.ID, st.Plan.Degree(o.ID))
+	}
+	if err := cluster.Place(current, cl); err != nil {
+		return false, err
+	}
+	curEst, err := c.Estimator.Estimate(current, cl)
+	if err != nil {
+		return false, err
+	}
+	// Compare on the optimizer's scale-free score (lower is better).
+	curScore := scoreOf(curEst, c.TuneOptions.Weight)
+	newScore := scoreOf(res.Estimate, c.TuneOptions.Weight)
+	if curScore-newScore < c.MinImprovement {
+		// Not worth a reconfiguration; accept the drift as the new normal
+		// so the controller does not re-evaluate every observation.
+		st.Query = shifted
+		st.TunedRate = observedRate
+		st.Plan = current
+		return false, nil
+	}
+	st.Query = shifted
+	st.Plan = res.Plan
+	st.TunedRate = observedRate
+	st.Reconfigurations++
+	return true, nil
+}
+
+// scoreOf mirrors the optimizer's log-score: wt·ln(lat) − (1−wt)·ln(tpt).
+func scoreOf(e optimizer.Estimate, wt float64) float64 {
+	return wt*math.Log(math.Max(e.LatencyMs, 1e-9)) - (1-wt)*math.Log(math.Max(e.ThroughputEPS, 1e-9))
+}

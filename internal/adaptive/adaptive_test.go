@@ -1,0 +1,191 @@
+package adaptive
+
+import (
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/optimizer"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/simulator"
+)
+
+// oracle prices plans with the simulator — a perfect estimator, isolating
+// the controller logic from model error.
+func oracle(p *queryplan.PQP, c *cluster.Cluster) (optimizer.Estimate, error) {
+	res, err := simulator.Simulate(p, c, simulator.Options{DisableNoise: true})
+	if err != nil {
+		return optimizer.Estimate{}, err
+	}
+	return optimizer.Estimate{LatencyMs: res.LatencyMs, ThroughputEPS: res.ThroughputEPS}, nil
+}
+
+func testSetup(t *testing.T, rate float64) (*queryplan.Query, *cluster.Cluster) {
+	t.Helper()
+	q := queryplan.SpikeDetection(rate)
+	c, err := cluster.New(4, cluster.SeenTypes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q, c
+}
+
+func TestDeployTunesInitialPlan(t *testing.T) {
+	q, c := testSetup(t, 300_000)
+	ctl := New(optimizer.EstimatorFunc(oracle))
+	st, err := ctl.Deploy(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Plan == nil || st.TunedRate != 300_000 {
+		t.Fatalf("bad state: %+v", st)
+	}
+	// At 300k ev/s, the keyed aggregate must be replicated.
+	if st.Plan.Degree(1) < 2 {
+		t.Fatalf("aggregate degree %d at 300k ev/s", st.Plan.Degree(1))
+	}
+}
+
+func TestObserveIgnoresSmallDrift(t *testing.T) {
+	q, c := testSetup(t, 100_000)
+	ctl := New(optimizer.EstimatorFunc(oracle))
+	st, err := ctl.Deploy(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ctl.Observe(st, c, 110_000) // 10% drift < 30% threshold
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("reconfigured on small drift")
+	}
+	if st.Reconfigurations != 0 {
+		t.Fatal("reconfiguration counted without change")
+	}
+}
+
+func TestObserveRetunesOnLargeDrift(t *testing.T) {
+	q, c := testSetup(t, 20_000)
+	ctl := New(optimizer.EstimatorFunc(oracle))
+	st, err := ctl.Deploy(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := st.Plan.Clone()
+	// Rate explodes 20× — the old plan is hopeless.
+	changed, err := ctl.Observe(st, c, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("controller ignored a 20x rate explosion")
+	}
+	if st.Reconfigurations != 1 {
+		t.Fatalf("reconfigurations %d", st.Reconfigurations)
+	}
+	// New plan must carry more parallelism than the old one.
+	if st.Plan.TotalInstances() <= before.TotalInstances() {
+		t.Fatalf("replan did not scale up: %v -> %v", before.DegreesVector(), st.Plan.DegreesVector())
+	}
+	// And must not be backpressured at the new rate.
+	sim, err := simulator.Simulate(st.Plan.Clone(), c, simulator.Options{DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Backpressured {
+		t.Fatal("replanned configuration is still backpressured")
+	}
+}
+
+func TestObserveSkipsMarginalImprovements(t *testing.T) {
+	q, c := testSetup(t, 100_000)
+	ctl := New(optimizer.EstimatorFunc(oracle))
+	ctl.MinImprovement = 1e9 // nothing is ever worth reconfiguring
+	st, err := ctl.Deploy(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ctl.Observe(st, c, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed {
+		t.Fatal("reconfigured despite prohibitive improvement threshold")
+	}
+	// The drift must have been absorbed as the new baseline.
+	if st.TunedRate != 400_000 {
+		t.Fatalf("tuned rate not updated: %v", st.TunedRate)
+	}
+}
+
+func TestObserveValidatesInput(t *testing.T) {
+	q, c := testSetup(t, 1000)
+	ctl := New(optimizer.EstimatorFunc(oracle))
+	st, err := ctl.Deploy(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Observe(st, c, 0); err == nil {
+		t.Fatal("accepted zero rate")
+	}
+	if _, err := ctl.Observe(nil, c, 100); err == nil {
+		t.Fatal("accepted nil state")
+	}
+}
+
+func TestDeployRequiresEstimator(t *testing.T) {
+	q, c := testSetup(t, 1000)
+	ctl := &Controller{TuneOptions: optimizer.DefaultTuneOptions(), DriftThreshold: 0.3}
+	if _, err := ctl.Deploy(q, c); err == nil {
+		t.Fatal("deployed without estimator")
+	}
+}
+
+func TestObserveHandlesRateDrop(t *testing.T) {
+	q, c := testSetup(t, 400_000)
+	ctl := New(optimizer.EstimatorFunc(oracle))
+	st, err := ctl.Deploy(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaledUp := st.Plan.TotalInstances()
+	// Overnight lull: rate collapses 40×.
+	if _, err := ctl.Observe(st, c, 10_000); err != nil {
+		t.Fatal(err)
+	}
+	if st.TunedRate != 10_000 {
+		t.Fatalf("tuned rate not tracking drift: %v", st.TunedRate)
+	}
+	// Whether or not the controller reconfigures (the improvement may be
+	// marginal), the tracked plan must stay valid and unsaturated.
+	sim, err := simulator.Simulate(st.Plan.Clone(), c, simulator.Options{DisableNoise: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Backpressured {
+		t.Fatal("plan backpressured after rate drop")
+	}
+	_ = scaledUp
+}
+
+func TestRepeatedObservationsStable(t *testing.T) {
+	q, c := testSetup(t, 100_000)
+	ctl := New(optimizer.EstimatorFunc(oracle))
+	st, err := ctl.Deploy(q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stable stream must not cause reconfiguration churn.
+	for i := 0; i < 5; i++ {
+		changed, err := ctl.Observe(st, c, 100_000*(1+0.05*float64(i%2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if changed {
+			t.Fatalf("controller churned on stable rates (iteration %d)", i)
+		}
+	}
+	if st.Reconfigurations != 0 {
+		t.Fatalf("%d reconfigurations on a stable stream", st.Reconfigurations)
+	}
+}

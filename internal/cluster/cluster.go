@@ -1,0 +1,239 @@
+// Package cluster models the hardware side of ZeroTune: the CloudLab node
+// types of Table II, clusters assembled from them, and the placement of
+// parallel operator instances onto cluster nodes (Flink-style slot
+// assignment with chain-group co-location).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+// NodeType is a hardware class from Table II of the paper.
+type NodeType struct {
+	Name    string
+	Cores   int
+	FreqGHz float64
+	MemGB   int
+	DiskGB  int
+	CPU     string // marketing name, informational only
+	Seen    bool   // part of the training ("seen") hardware set
+	Homog   bool   // listed under the homogeneous ("Ho") cluster type
+}
+
+// Catalog returns the eight CloudLab node types of Table II. The slice is
+// freshly allocated; callers may modify it.
+func Catalog() []NodeType {
+	return []NodeType{
+		{Name: "m510", Cores: 8, FreqGHz: 2.0, MemGB: 64, DiskGB: 256, CPU: "Xeon D", Seen: true, Homog: true},
+		{Name: "c6420", Cores: 32, FreqGHz: 2.6, MemGB: 384, DiskGB: 1024, CPU: "Skylake", Seen: false, Homog: true},
+		{Name: "rs620", Cores: 10, FreqGHz: 2.2, MemGB: 256, DiskGB: 900, CPU: "Xeon", Seen: true, Homog: false},
+		{Name: "c8220x", Cores: 20, FreqGHz: 2.2, MemGB: 256, DiskGB: 4096, CPU: "Ivy Bridge", Seen: false, Homog: false},
+		{Name: "c8220", Cores: 20, FreqGHz: 2.2, MemGB: 256, DiskGB: 2048, CPU: "Ivy Bridge", Seen: false, Homog: false},
+		{Name: "dss7500", Cores: 12, FreqGHz: 2.4, MemGB: 128, DiskGB: 120, CPU: "Haswell", Seen: false, Homog: false},
+		{Name: "c6320", Cores: 28, FreqGHz: 2.0, MemGB: 256, DiskGB: 1024, CPU: "Haswell", Seen: false, Homog: false},
+		{Name: "rs6525", Cores: 64, FreqGHz: 2.8, MemGB: 256, DiskGB: 1600, CPU: "AMD EPYC", Seen: false, Homog: false},
+	}
+}
+
+// TypeByName returns the catalogue entry with the given name.
+func TypeByName(name string) (NodeType, error) {
+	for _, t := range Catalog() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return NodeType{}, fmt.Errorf("cluster: unknown node type %q", name)
+}
+
+// SeenTypes returns the node types used for training data (Table III:
+// m510, rs620).
+func SeenTypes() []NodeType {
+	var out []NodeType
+	for _, t := range Catalog() {
+		if t.Seen {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// UnseenTypes returns the node types reserved for generalization tests.
+func UnseenTypes() []NodeType {
+	var out []NodeType
+	for _, t := range Catalog() {
+		if !t.Seen {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Node is one worker machine in a cluster.
+type Node struct {
+	Name string
+	Type NodeType
+}
+
+// Cluster is a set of worker nodes joined by a uniform network link.
+type Cluster struct {
+	Nodes    []Node
+	LinkGbps float64 // network link speed between nodes (Table I/III: 1 or 10)
+}
+
+// New builds a cluster of n workers drawn from the given node types. A
+// single type yields a homogeneous cluster; several types are assigned
+// round-robin, producing the paper's heterogeneous configurations.
+func New(n int, types []NodeType, linkGbps float64) (*Cluster, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: need at least 1 worker, got %d", n)
+	}
+	if len(types) == 0 {
+		return nil, fmt.Errorf("cluster: no node types given")
+	}
+	if linkGbps <= 0 {
+		return nil, fmt.Errorf("cluster: link speed must be positive, got %v", linkGbps)
+	}
+	c := &Cluster{LinkGbps: linkGbps}
+	for i := 0; i < n; i++ {
+		t := types[i%len(types)]
+		c.Nodes = append(c.Nodes, Node{Name: fmt.Sprintf("%s-%d", t.Name, i), Type: t})
+	}
+	return c, nil
+}
+
+// NewRandom builds a cluster of n workers with types sampled uniformly from
+// types using rng — the heterogeneous resource sampling used in data
+// generation.
+func NewRandom(rng *tensor.RNG, n int, types []NodeType, linkGbps float64) (*Cluster, error) {
+	if n < 1 || len(types) == 0 || linkGbps <= 0 {
+		return nil, fmt.Errorf("cluster: invalid arguments (n=%d, types=%d, link=%v)", n, len(types), linkGbps)
+	}
+	c := &Cluster{LinkGbps: linkGbps}
+	for i := 0; i < n; i++ {
+		t := tensor.Pick(rng, types)
+		c.Nodes = append(c.Nodes, Node{Name: fmt.Sprintf("%s-%d", t.Name, i), Type: t})
+	}
+	return c, nil
+}
+
+// Node returns the node with the given name, or nil.
+func (c *Cluster) Node(name string) *Node {
+	for i := range c.Nodes {
+		if c.Nodes[i].Name == name {
+			return &c.Nodes[i]
+		}
+	}
+	return nil
+}
+
+// TotalCores returns the number of cores across all workers — the paper's
+// n_core upper bound on any parallelism degree.
+func (c *Cluster) TotalCores() int {
+	n := 0
+	for _, nd := range c.Nodes {
+		n += nd.Type.Cores
+	}
+	return n
+}
+
+// MaxNodeCores returns the largest core count of any single worker.
+func (c *Cluster) MaxNodeCores() int {
+	m := 0
+	for _, nd := range c.Nodes {
+		if nd.Type.Cores > m {
+			m = nd.Type.Cores
+		}
+	}
+	return m
+}
+
+// IsHeterogeneous reports whether the cluster mixes node types.
+func (c *Cluster) IsHeterogeneous() bool {
+	if len(c.Nodes) == 0 {
+		return false
+	}
+	first := c.Nodes[0].Type.Name
+	for _, nd := range c.Nodes[1:] {
+		if nd.Type.Name != first {
+			return true
+		}
+	}
+	return false
+}
+
+// Place assigns every operator instance of p to a cluster node, writing
+// p.Placement. The strategy mirrors Flink's default scheduling:
+//
+//   - Operators in the same chain group co-locate instance-by-instance
+//     (instance i of every chained operator runs in the same task slot).
+//   - Chain groups are spread across workers round-robin, offset per group
+//     so load balances over the cluster.
+//
+// Place never fails for valid plans, but returns an error when the plan or
+// cluster is structurally unusable.
+func Place(p *queryplan.PQP, c *Cluster) error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("cluster: cannot place on empty cluster")
+	}
+	if err := p.Validate(); err != nil {
+		return fmt.Errorf("cluster: invalid plan: %w", err)
+	}
+	groups := p.ChainGroups()
+	// Deterministic group ordering.
+	groupIDs := make([]int, 0)
+	seen := map[int]bool{}
+	order, err := p.Query.TopoOrder()
+	if err != nil {
+		return err
+	}
+	for _, opID := range order {
+		g := groups[opID]
+		if !seen[g] {
+			seen[g] = true
+			groupIDs = append(groupIDs, g)
+		}
+	}
+	opsInGroup := make(map[int][]int)
+	for _, opID := range order {
+		g := groups[opID]
+		opsInGroup[g] = append(opsInGroup[g], opID)
+	}
+	for gi, g := range groupIDs {
+		ops := opsInGroup[g]
+		sort.Ints(ops)
+		degree := p.Degree(ops[0]) // uniform within a chain group
+		for _, opID := range ops {
+			nodes := make([]string, degree)
+			for i := 0; i < degree; i++ {
+				nodes[i] = c.Nodes[(gi+i)%len(c.Nodes)].Name
+			}
+			p.Placement[opID] = nodes
+		}
+	}
+	return nil
+}
+
+// SlotLoad returns, per node name, the number of operator-instance slots
+// placed on it. The simulator uses this for its contention model.
+func SlotLoad(p *queryplan.PQP) map[string]int {
+	load := make(map[string]int)
+	// Chained operators share a slot: count one slot per chain group
+	// instance, not per operator instance.
+	groups := p.ChainGroups()
+	counted := make(map[int]bool)
+	for _, o := range p.Query.Ops {
+		g := groups[o.ID]
+		if counted[g] {
+			continue
+		}
+		counted[g] = true
+		for _, n := range p.Placement[o.ID] {
+			load[n]++
+		}
+	}
+	return load
+}

@@ -1,0 +1,84 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/core"
+	"zerotune/internal/gnn"
+	"zerotune/internal/optimizer"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/simulator"
+	"zerotune/internal/workload"
+)
+
+// Example shows the full Fig. 2 workflow: collect a labelled workload,
+// train the zero-shot model, predict an unseen query's costs, and tune its
+// parallelism degrees. (No Output comment: examples compile but do not run
+// during tests — training takes minutes at realistic sizes.)
+func Example() {
+	// Training workload: synthetic queries over the seen grid, degrees
+	// enumerated with OptiSample, labelled by the simulated cluster.
+	gen := workload.NewSeenGenerator(1)
+	items, err := gen.Generate(workload.SeenRanges().Structures, 3000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zt, stats, err := core.Train(items, core.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %s\n", stats.Duration)
+
+	// Zero-shot prediction for a benchmark query on a 4-worker cluster.
+	c, _ := cluster.New(4, cluster.SeenTypes(), 10)
+	p := queryplan.NewPQP(queryplan.SpikeDetection(50_000))
+	pred, _ := zt.Predict(p, c)
+	fmt.Printf("predicted: %.1f ms, %.0f ev/s\n", pred.LatencyMs, pred.ThroughputEPS)
+
+	// Parallelism tuning: Eq. 1 over the optimizer's candidate set.
+	res, _ := zt.Tune(queryplan.SpikeDetection(50_000), c, optimizer.DefaultTuneOptions())
+	fmt.Printf("recommended degrees: %v\n", res.Plan.DegreesVector())
+}
+
+// ExampleZeroTune_Save shows model persistence: train once, ship the model
+// file, load it elsewhere.
+func ExampleZeroTune_Save() {
+	gen := workload.NewSeenGenerator(1)
+	items, _ := gen.Generate([]string{"linear"}, 500)
+	zt, _, err := core.Train(items, core.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, _ := os.Create("model.json")
+	defer f.Close()
+	_ = zt.Save(f)
+
+	g, _ := os.Open("model.json")
+	defer g.Close()
+	loaded, _ := core.Load(g)
+	fmt.Println(loaded.Model.NumParams())
+}
+
+// ExampleZeroTune_FineTuneMetric shows fitting an extra cost metric
+// (resource usage) on the frozen encoder, the Sec. III-A fine-tuning path.
+func ExampleZeroTune_FineTuneMetric() {
+	gen := workload.NewSeenGenerator(1)
+	items, _ := gen.Generate(workload.SeenRanges().Structures, 1000)
+	zt, _, err := core.Train(items, core.DefaultTrainOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	metric, err := zt.FineTuneMetric("busy-cores", items, func(it *workload.Item) float64 {
+		res, _ := simulator.Simulate(it.Plan.Clone(), it.Cluster, simulator.Options{DisableNoise: true})
+		return res.BusyCores + 0.1
+	}, gnn.DefaultTrainConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, _ := cluster.New(4, cluster.SeenTypes(), 10)
+	usage, _ := metric.Predict(queryplan.NewPQP(queryplan.SmartGridLocal(20_000)), c)
+	fmt.Printf("predicted busy cores: %.1f\n", usage)
+}

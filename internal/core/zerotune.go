@@ -1,0 +1,207 @@
+// Package core is the public face of the library: it ties the featurizer,
+// the zero-shot GNN cost model and the parallelism optimizer together into
+// the workflow of Fig. 2 — train once on transferable features, then
+// predict costs for unseen plans and tune parallelism degrees without ever
+// deploying a candidate.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/features"
+	"zerotune/internal/gnn"
+	"zerotune/internal/metrics"
+	"zerotune/internal/optimizer"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+	"zerotune/internal/workload"
+)
+
+// ZeroTune is a trained zero-shot cost model.
+type ZeroTune struct {
+	Model *gnn.Model
+	// Mask is the feature visibility the model was trained with; prediction
+	// uses the same mask.
+	Mask features.Mask
+}
+
+// TrainOptions configures model training.
+type TrainOptions struct {
+	Model gnn.Config
+	Train gnn.TrainConfig
+	Mask  features.Mask
+	Seed  uint64
+}
+
+// DefaultTrainOptions returns the configuration used across the
+// experiments.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Model: gnn.DefaultConfig(), Train: gnn.DefaultTrainConfig(), Seed: 1}
+}
+
+// Train fits a fresh ZeroTune model on labelled workload items.
+func Train(items []*workload.Item, opts TrainOptions) (*ZeroTune, gnn.TrainStats, error) {
+	if len(items) == 0 {
+		return nil, gnn.TrainStats{}, fmt.Errorf("core: no training items")
+	}
+	// Re-encode under the requested mask when it differs from the items'
+	// encoding default (MaskAll).
+	data := items
+	if opts.Mask != features.MaskAll {
+		var err error
+		data, err = workload.Reencode(items, opts.Mask)
+		if err != nil {
+			return nil, gnn.TrainStats{}, err
+		}
+	}
+	model := gnn.New(tensor.NewRNG(opts.Seed), opts.Model)
+	stats, err := gnn.Train(model, workload.Graphs(data), opts.Train)
+	if err != nil {
+		return nil, gnn.TrainStats{}, err
+	}
+	return &ZeroTune{Model: model, Mask: opts.Mask}, stats, nil
+}
+
+// FineTune continues training on additional items (few-shot learning,
+// Sec. V-A) using the gentler FewShotConfig schedule.
+func (z *ZeroTune) FineTune(items []*workload.Item, cfg gnn.TrainConfig) (gnn.TrainStats, error) {
+	if len(items) == 0 {
+		return gnn.TrainStats{}, fmt.Errorf("core: no fine-tuning items")
+	}
+	data := items
+	if z.Mask != features.MaskAll {
+		var err error
+		data, err = workload.Reencode(items, z.Mask)
+		if err != nil {
+			return gnn.TrainStats{}, err
+		}
+	}
+	return gnn.Train(z.Model, workload.Graphs(data), cfg)
+}
+
+// Predict estimates the cost of executing the placed plan p on cluster c.
+func (z *ZeroTune) Predict(p *queryplan.PQP, c *cluster.Cluster) (gnn.Prediction, error) {
+	if len(p.Placement) != len(p.Query.Ops) {
+		if err := cluster.Place(p, c); err != nil {
+			return gnn.Prediction{}, err
+		}
+	}
+	g, err := features.Encode(p, c, z.Mask)
+	if err != nil {
+		return gnn.Prediction{}, err
+	}
+	return z.Model.Predict(g), nil
+}
+
+// Estimator adapts the model to the optimizer's CostEstimator interface.
+func (z *ZeroTune) Estimator() optimizer.CostEstimator {
+	return optimizer.EstimatorFunc(func(p *queryplan.PQP, c *cluster.Cluster) (optimizer.Estimate, error) {
+		pred, err := z.Predict(p, c)
+		if err != nil {
+			return optimizer.Estimate{}, err
+		}
+		return optimizer.Estimate{LatencyMs: pred.LatencyMs, ThroughputEPS: pred.ThroughputEPS}, nil
+	})
+}
+
+// Tune selects parallelism degrees for q on c by minimizing the model's
+// predicted weighted cost (Eq. 1) over the optimizer's candidate set.
+func (z *ZeroTune) Tune(q *queryplan.Query, c *cluster.Cluster, opts optimizer.TuneOptions) (*optimizer.TuneResult, error) {
+	return optimizer.Tune(q, c, z.Estimator(), opts)
+}
+
+// QErrors evaluates the model on labelled items and returns the latency and
+// throughput q-errors per item.
+func (z *ZeroTune) QErrors(items []*workload.Item) (latQ, tptQ []float64, err error) {
+	data := items
+	if z.Mask != features.MaskAll {
+		data, err = workload.Reencode(items, z.Mask)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	for _, it := range data {
+		pred := z.Model.Predict(it.Graph)
+		latQ = append(latQ, metrics.QError(it.LatencyMs, pred.LatencyMs))
+		tptQ = append(tptQ, metrics.QError(it.ThroughputEPS, pred.ThroughputEPS))
+	}
+	return latQ, tptQ, nil
+}
+
+// persisted is the on-disk model format.
+type persisted struct {
+	Mask  features.Mask `json:"mask"`
+	Model *gnn.Model    `json:"model"`
+}
+
+// Save writes the model to w as JSON.
+func (z *ZeroTune) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(persisted{Mask: z.Mask, Model: z.Model})
+}
+
+// Load reads a model previously written with Save.
+func Load(r io.Reader) (*ZeroTune, error) {
+	var p persisted
+	if err := json.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	if p.Model == nil {
+		return nil, fmt.Errorf("core: load model: missing model payload")
+	}
+	return &ZeroTune{Model: p.Model, Mask: p.Mask}, nil
+}
+
+// MetricModel predicts one additional cost metric (e.g. resource usage) on
+// top of a frozen ZeroTune model — the fine-tuning path the paper sketches
+// in Sec. III-A ("replacing the final MLP node").
+type MetricModel struct {
+	zt   *ZeroTune
+	head *gnn.MetricHead
+}
+
+// Name returns the metric's name.
+func (m *MetricModel) Name() string { return m.head.Name }
+
+// FineTuneMetric fits a new read-out head for an additional metric on
+// labelled items, extracting the target value per item with extract. The
+// underlying model's weights are frozen; only the new head trains.
+func (z *ZeroTune) FineTuneMetric(name string, items []*workload.Item,
+	extract func(*workload.Item) float64, cfg gnn.TrainConfig) (*MetricModel, error) {
+	if extract == nil {
+		return nil, fmt.Errorf("core: FineTuneMetric needs an extractor")
+	}
+	data := items
+	if z.Mask != features.MaskAll {
+		var err error
+		data, err = workload.Reencode(items, z.Mask)
+		if err != nil {
+			return nil, err
+		}
+	}
+	targets := make([]float64, len(data))
+	for i, it := range data {
+		targets[i] = extract(it)
+	}
+	head, err := gnn.FineTuneMetricHead(z.Model, name, workload.Graphs(data), targets, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &MetricModel{zt: z, head: head}, nil
+}
+
+// Predict estimates the metric for the placed plan p on cluster c.
+func (m *MetricModel) Predict(p *queryplan.PQP, c *cluster.Cluster) (float64, error) {
+	if len(p.Placement) != len(p.Query.Ops) {
+		if err := cluster.Place(p, c); err != nil {
+			return 0, err
+		}
+	}
+	g, err := features.Encode(p, c, m.zt.Mask)
+	if err != nil {
+		return 0, err
+	}
+	return m.head.Predict(m.zt.Model, g), nil
+}

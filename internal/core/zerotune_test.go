@@ -1,0 +1,246 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/features"
+	"zerotune/internal/gnn"
+	"zerotune/internal/metrics"
+	"zerotune/internal/optimizer"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/simulator"
+	"zerotune/internal/workload"
+)
+
+// smallTrained trains a small model on a small workload; shared across
+// tests via t.Helper-style lazy init (kept simple: retrain per test where
+// needed, tests below reuse this one fixture).
+func smallTrained(t *testing.T, n int, epochs int) (*ZeroTune, *workload.Dataset) {
+	t.Helper()
+	gen := workload.NewSeenGenerator(11)
+	items, err := gen.Generate(workload.SeenRanges().Structures, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := workload.Split(items, 0.8, 0.1, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultTrainOptions()
+	opts.Model = gnn.Config{Hidden: 24, EncDepth: 1, HeadHidden: 24}
+	opts.Train.Epochs = epochs
+	zt, _, err := Train(ds.Train, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return zt, ds
+}
+
+func TestTrainRejectsEmpty(t *testing.T) {
+	if _, _, err := Train(nil, DefaultTrainOptions()); err == nil {
+		t.Fatal("accepted empty training set")
+	}
+}
+
+func TestTrainPredictLearns(t *testing.T) {
+	// A deliberately small smoke-scale run: the wide OptiSample exploration
+	// makes the label distribution heavy-tailed, so the bar here is loose;
+	// the experiments suite validates real accuracy at full scale.
+	zt, ds := smallTrained(t, 500, 30)
+	latQ, tptQ, err := zt.QErrors(ds.Test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Median(latQ) > 8 {
+		t.Fatalf("latency median q-error %v after training", metrics.Median(latQ))
+	}
+	if metrics.Median(tptQ) > 8 {
+		t.Fatalf("throughput median q-error %v after training", metrics.Median(tptQ))
+	}
+}
+
+func TestPredictAutoPlaces(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 5)
+	q := queryplan.SpikeDetection(5000)
+	p := queryplan.NewPQP(q)
+	c, _ := cluster.New(2, cluster.SeenTypes(), 10)
+	pred, err := zt.Predict(p, c) // no placement yet
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.LatencyMs <= 0 || pred.ThroughputEPS <= 0 {
+		t.Fatalf("bad prediction %+v", pred)
+	}
+}
+
+func TestTuneReturnsValidPlan(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 5)
+	q := queryplan.SpikeDetection(100_000)
+	c, _ := cluster.New(4, cluster.SeenTypes(), 10)
+	res, err := zt.Tune(q, c, optimizer.DefaultTuneOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates < 5 {
+		t.Fatalf("candidates %d", res.Candidates)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	zt, ds := smallTrained(t, 60, 5)
+	var buf bytes.Buffer
+	if err := zt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := zt.QErrors(ds.Test[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.QErrors(ds.Test[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("loaded model predicts differently")
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("{not json")); err == nil {
+		t.Fatal("accepted garbage")
+	}
+	if _, err := Load(strings.NewReader(`{"mask":0}`)); err == nil {
+		t.Fatal("accepted payload without model")
+	}
+}
+
+func TestFineTuneImprovesOnTarget(t *testing.T) {
+	zt, _ := smallTrained(t, 200, 15)
+	// Fine-tune on a structure the model never saw.
+	gen := workload.NewSeenGenerator(13)
+	few, err := gen.Generate([]string{"2-chained-filters"}, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	test, err := workload.NewSeenGenerator(14).Generate([]string{"2-chained-filters"}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, _, err := zt.QErrors(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := gnn.FewShotConfig()
+	cfg.Epochs = 15
+	if _, err := zt.FineTune(few, cfg); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := zt.QErrors(test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Median(after) > metrics.Median(before)*1.5 {
+		t.Fatalf("few-shot hurt badly: before %v after %v", metrics.Median(before), metrics.Median(after))
+	}
+}
+
+func TestFineTuneRejectsEmpty(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 3)
+	if _, err := zt.FineTune(nil, gnn.FewShotConfig()); err == nil {
+		t.Fatal("accepted empty fine-tune set")
+	}
+}
+
+func TestTrainWithMask(t *testing.T) {
+	gen := workload.NewSeenGenerator(15)
+	items, err := gen.Generate([]string{"linear"}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultTrainOptions()
+	opts.Model = gnn.Config{Hidden: 16, EncDepth: 1, HeadHidden: 16}
+	opts.Train.Epochs = 3
+	opts.Mask = features.MaskOperatorOnly
+	zt, _, err := Train(items, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zt.Mask != features.MaskOperatorOnly {
+		t.Fatal("mask not recorded")
+	}
+	// QErrors must re-encode with the same mask without error.
+	if _, _, err := zt.QErrors(items[:5]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorInterface(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 3)
+	est := zt.Estimator()
+	q := queryplan.SmartGridLocal(10_000)
+	p := queryplan.NewPQP(q)
+	c, _ := cluster.New(2, cluster.SeenTypes(), 10)
+	if err := cluster.Place(p, c); err != nil {
+		t.Fatal(err)
+	}
+	e, err := est.Estimate(p, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.LatencyMs <= 0 || e.ThroughputEPS <= 0 {
+		t.Fatalf("bad estimate %+v", e)
+	}
+}
+
+func TestFineTuneMetricBusyCores(t *testing.T) {
+	zt, ds := smallTrained(t, 400, 20)
+	metric, err := zt.FineTuneMetric("busy-cores", ds.Train, func(it *workload.Item) float64 {
+		res, err := simulator.Simulate(it.Plan.Clone(), it.Cluster, simulator.Options{DisableNoise: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.BusyCores + 0.1
+	}, gnn.DefaultTrainConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metric.Name() != "busy-cores" {
+		t.Fatal("metric name lost")
+	}
+	// Evaluate on held-out items: predictions must correlate with truth
+	// (median q-error bounded).
+	var qs []float64
+	for _, it := range ds.Test[:20] {
+		pred, err := metric.Predict(it.Plan, it.Cluster)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth, err := simulator.Simulate(it.Plan.Clone(), it.Cluster, simulator.Options{DisableNoise: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs = append(qs, metrics.QError(truth.BusyCores+0.1, pred))
+	}
+	if med := metrics.Median(qs); med > 6 {
+		t.Fatalf("busy-cores median q-error %v", med)
+	}
+}
+
+func TestFineTuneMetricValidation(t *testing.T) {
+	zt, ds := smallTrained(t, 60, 3)
+	if _, err := zt.FineTuneMetric("x", ds.Train, nil, gnn.DefaultTrainConfig()); err == nil {
+		t.Fatal("accepted nil extractor")
+	}
+}

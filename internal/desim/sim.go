@@ -1,0 +1,618 @@
+package desim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/simulator"
+)
+
+// saturationFloor is the minimum sustained queue occupancy treated as
+// backpressure; growth below it is noise.
+const saturationFloor = 100
+
+// group is one chain group: operators fused onto one logical thread per
+// instance.
+type group struct {
+	id     int
+	ops    []int // member op IDs in topological order
+	degree int
+	rr     map[int]int // downstream group id → round-robin counter
+}
+
+// instance is one parallel instance of a chain group.
+type instance struct {
+	queue    []*work
+	busy     bool
+	maxQueue int
+}
+
+// work is one unit a chain instance processes: a tuple entering the group
+// at a member position.
+type work struct {
+	tup   tuple
+	opPos int // index into group.ops where processing starts
+	side  int // join side, when entering at a join
+}
+
+// windowState holds the buffered contents of one windowed operator
+// instance.
+type windowState struct {
+	opID   int
+	births []float64 // buffered tuple birth times (non-join)
+	// join buffers per side: birth and insertion times for eviction
+	joinBirths [2][]float64
+	joinTimes  [2][]float64
+	// accumulators for fractional emissions
+	emitAcc  float64
+	matchAcc float64
+	inserts  int // count-window insert counter
+}
+
+type sim struct {
+	plan *queryplan.PQP
+	c    *cluster.Cluster
+	cm   *simulator.CostModel
+	opts Options
+
+	groups    map[int]*group // group id → group
+	opGroup   map[int]int    // op ID → group id
+	opPos     map[int]int    // op ID → position within its group
+	instances map[int][]*instance
+	winState  map[int][]*windowState // op ID → per-instance window state
+	outPerIn  map[int]float64        // analytical amortization factor for service times
+	probes    map[int]float64
+
+	events    eventHeap
+	seq       int
+	nowMs     float64
+	processed int
+
+	latencies []float64
+	ingested  int
+	endMs     float64
+	samples   []int // total queue occupancy at periodic sample points
+}
+
+func newSim(p *queryplan.PQP, c *cluster.Cluster, cm *simulator.CostModel, opts Options) (*sim, error) {
+	s := &sim{
+		plan: p, c: c, cm: cm, opts: opts,
+		groups:    make(map[int]*group),
+		opGroup:   p.ChainGroups(),
+		opPos:     make(map[int]int),
+		instances: make(map[int][]*instance),
+		winState:  make(map[int][]*windowState),
+		outPerIn:  make(map[int]float64),
+		probes:    make(map[int]float64),
+		endMs:     opts.WarmupMs + opts.DurationMs,
+	}
+	order, err := p.Query.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range order {
+		g := s.opGroup[id]
+		grp := s.groups[g]
+		if grp == nil {
+			grp = &group{id: g, degree: p.Degree(id), rr: make(map[int]int)}
+			s.groups[g] = grp
+		}
+		s.opPos[id] = len(grp.ops)
+		grp.ops = append(grp.ops, id)
+	}
+	for _, grp := range s.groups {
+		for i := 0; i < grp.degree; i++ {
+			s.instances[grp.id] = append(s.instances[grp.id], &instance{})
+		}
+	}
+	// Window states and analytical amortization factors (for service-time
+	// parity with the analytical engine).
+	rates := simulator.EstimateSteadyRates(p.Query, order)
+	for _, id := range order {
+		op := p.Query.Op(id)
+		s.outPerIn[id] = rates[id].OutPerIn
+		s.probes[id] = rates[id].ProbeCandidates
+		if op.IsWindowed() {
+			grp := s.groups[s.opGroup[id]]
+			for i := 0; i < grp.degree; i++ {
+				ws := &windowState{opID: id}
+				s.winState[id] = append(s.winState[id], ws)
+			}
+			// Time windows emit on slide timers per instance.
+			if op.WindowPolicy == queryplan.PolicyTime {
+				slide := op.SlidingLength
+				if op.WindowType != queryplan.WindowSliding || slide <= 0 {
+					slide = op.WindowLength
+				}
+				for i := 0; i < grp.degree; i++ {
+					s.schedule(&event{atMs: slide, kind: evWindowTimer, op: id, inst: i})
+				}
+			}
+		}
+	}
+	// Source emissions: each source instance emits at interval degree/rate,
+	// staggered across instances. All emissions over the horizon are
+	// enqueued up front (Run caps total events).
+	for _, src := range p.Query.Sources() {
+		grp := s.groups[s.opGroup[src.ID]]
+		intervalMs := 1000 * float64(grp.degree) / src.EventRate
+		for i := 0; i < grp.degree; i++ {
+			start := intervalMs * float64(i) / float64(grp.degree)
+			for at := start; at <= s.endMs; at += intervalMs {
+				s.schedule(&event{
+					atMs: at, kind: evArrival,
+					op: src.ID, inst: i,
+					tup: tuple{birthMs: at},
+				})
+			}
+		}
+	}
+	// Saturation sampling: 20 occupancy probes across the horizon.
+	for i := 1; i <= 20; i++ {
+		s.schedule(&event{atMs: s.endMs * float64(i) / 20, kind: evSample})
+	}
+	return s, nil
+}
+
+func (s *sim) schedule(e *event) {
+	s.seq++
+	e.seq = s.seq
+	heap.Push(&s.events, e)
+}
+
+// run drains the event loop.
+func (s *sim) run() (*Metrics, error) {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*event)
+		s.nowMs = e.atMs
+		if s.nowMs > s.endMs+1 {
+			break
+		}
+		s.processed++
+		if s.processed > s.opts.MaxEvents {
+			return nil, fmt.Errorf("desim: event budget exceeded (%d); configuration likely diverging", s.opts.MaxEvents)
+		}
+		switch e.kind {
+		case evArrival:
+			s.onArrival(e)
+		case evServiceDone:
+			s.onServiceDone(e)
+		case evWindowTimer:
+			s.onWindowTimer(e)
+		case evSample:
+			total := 0
+			for _, insts := range s.instances {
+				for _, in := range insts {
+					total += len(in.queue)
+				}
+			}
+			s.samples = append(s.samples, total)
+		}
+	}
+	return s.metrics(), nil
+}
+
+// onArrival enqueues a work item at the target instance and starts service
+// if idle.
+func (s *sim) onArrival(e *event) {
+	gid := s.opGroup[e.op]
+	inst := s.instances[gid][e.inst]
+	pos, side := s.opPos[e.op], e.side
+	if side == emissionSide {
+		// A time-window emission resumes after the window operator.
+		pos, side = pos+1, 0
+	}
+	w := &work{tup: e.tup, opPos: pos, side: side}
+	inst.queue = append(inst.queue, w)
+	if len(inst.queue) > inst.maxQueue {
+		inst.maxQueue = len(inst.queue)
+	}
+	if s.plan.Query.Op(e.op).Type == queryplan.OpSource && e.tup.birthMs >= s.opts.WarmupMs {
+		s.ingested++
+	}
+	if !inst.busy {
+		s.startService(gid, e.inst)
+	}
+}
+
+// startService pops the next work item and processes it through the chain.
+func (s *sim) startService(gid, instIdx int) {
+	inst := s.instances[gid][instIdx]
+	if len(inst.queue) == 0 {
+		inst.busy = false
+		return
+	}
+	w := inst.queue[0]
+	inst.queue = inst.queue[1:]
+	inst.busy = true
+	durationMs := s.process(gid, instIdx, w)
+	s.schedule(&event{atMs: s.nowMs + durationMs, kind: evServiceDone, op: gid, inst: instIdx})
+}
+
+func (s *sim) onServiceDone(e *event) {
+	s.startService(e.op, e.inst)
+}
+
+// process walks the work item through the chain members from its entry
+// position, consuming service time, dropping at filters, buffering at
+// windows and emitting downstream. Returns the total service duration.
+func (s *sim) process(gid, instIdx int, w *work) float64 {
+	grp := s.groups[gid]
+	var totalMs float64
+	type flight struct {
+		tup  tuple
+		pos  int
+		side int
+		off  float64 // service offset when this tuple reached pos
+	}
+	pending := []flight{{tup: w.tup, pos: w.opPos, side: w.side}}
+	for len(pending) > 0 {
+		f := pending[0]
+		pending = pending[1:]
+		pos, cur, off := f.pos, f.tup, f.off
+		exited := true // false when dropped, buffered or delivered
+	walk:
+		for pos < len(grp.ops) {
+			opID := grp.ops[pos]
+			op := s.plan.Query.Op(opID)
+			off += s.serviceMs(opID, instIdx)
+			if off > totalMs {
+				totalMs = off
+			}
+			switch op.Type {
+			case queryplan.OpFilter:
+				acc := s.filterAcc(opID, instIdx)
+				acc.emitAcc += op.Selectivity
+				if acc.emitAcc < 1 {
+					exited = false
+					break walk // dropped
+				}
+				acc.emitAcc -= 1
+			case queryplan.OpAggregate:
+				for _, o := range s.insertAggregate(opID, instIdx, cur) {
+					pending = append(pending, flight{tup: o, pos: pos + 1, off: off})
+				}
+				exited = false
+				break walk // buffered; emissions continue separately
+			case queryplan.OpJoin:
+				for _, o := range s.insertJoin(opID, instIdx, cur, f.side) {
+					pending = append(pending, flight{tup: o, pos: pos + 1, off: off})
+				}
+				exited = false
+				break walk
+			case queryplan.OpSink:
+				if s.nowMs+off >= s.opts.WarmupMs && s.nowMs+off <= s.endMs {
+					s.latencies = append(s.latencies, s.nowMs+off-cur.birthMs)
+				}
+				exited = false
+				break walk // delivered
+			}
+			pos++
+		}
+		if exited {
+			s.forward(grp.ops[len(grp.ops)-1], instIdx, cur, s.nowMs+off)
+		}
+	}
+	return totalMs
+}
+
+// forward delivers a tuple to every downstream group of the chain's tail.
+func (s *sim) forward(tailOp, instIdx int, tup tuple, atMs float64) {
+	for _, e := range s.plan.Query.Edges {
+		if e.From != tailOp {
+			continue
+		}
+		gid := s.opGroup[e.To]
+		grp := s.groups[gid]
+		target := grp.rr[tailOp] % grp.degree
+		grp.rr[tailOp]++
+		side := 0
+		ups := s.plan.Query.Upstream(e.To)
+		if len(ups) == 2 && ups[1] == tailOp {
+			side = 1
+		}
+		delay := s.edgeDelayMs(e)
+		s.schedule(&event{
+			atMs: atMs + delay, kind: evArrival,
+			op: e.To, inst: target, tup: tup, side: side,
+		})
+	}
+}
+
+// metrics aggregates the run.
+func (s *sim) metrics() *Metrics {
+	m := &Metrics{SinkDeliveries: len(s.latencies)}
+	maxQ := 0
+	for _, insts := range s.instances {
+		for _, in := range insts {
+			if in.maxQueue > maxQ {
+				maxQ = in.maxQueue
+			}
+		}
+	}
+	m.MaxQueueLen = maxQ
+	m.Saturated = s.saturatedTrend()
+	m.IngestedEPS = float64(s.ingested) / (s.opts.DurationMs / 1000)
+	if len(s.latencies) > 0 {
+		var sum float64
+		for _, l := range s.latencies {
+			sum += l
+		}
+		m.AvgLatencyMs = sum / float64(len(s.latencies))
+		sorted := append([]float64{}, s.latencies...)
+		sort.Float64s(sorted)
+		m.P95LatencyMs = sorted[int(0.95*float64(len(sorted)-1))]
+	}
+	return m
+}
+
+// serviceMs returns the deterministic per-tuple service time of one
+// operator on the instance's node, consistent with the analytical engine.
+func (s *sim) serviceMs(opID, instIdx int) float64 {
+	op := s.plan.Query.Op(opID)
+	nodeName := ""
+	if pl := s.plan.Placement[opID]; instIdx < len(pl) {
+		nodeName = pl[instIdx]
+	}
+	freq := 1.0
+	if n := s.c.Node(nodeName); n != nil {
+		freq = n.Type.FreqGHz
+	}
+	return s.cm.ServiceTimeUs(op, freq, s.outPerIn[opID], s.probes[opID]) / 1000
+}
+
+// edgeDelayMs mirrors the analytical edge latency with buffering disabled.
+func (s *sim) edgeDelayMs(e queryplan.Edge) float64 {
+	if s.opGroup[e.From] == s.opGroup[e.To] {
+		return 0
+	}
+	up := s.plan.Query.Op(e.From)
+	bytes := simulator.TupleBytes(up.TupleWidthOut, up.TupleDataType)
+	serdeMs := bytes * s.cm.SerdePerByte / 2 / 1000
+	frac := s.remoteFraction(e)
+	linkBytesPerMs := s.c.LinkGbps * 1e9 / 8 / 1000
+	return serdeMs + frac*(s.cm.HopLatencyMs+bytes/linkBytesPerMs)
+}
+
+func (s *sim) remoteFraction(e queryplan.Edge) float64 {
+	up := s.plan.Placement[e.From]
+	down := s.plan.Placement[e.To]
+	if len(up) == 0 || len(down) == 0 {
+		return 1
+	}
+	remote := 0
+	for _, u := range up {
+		for _, d := range down {
+			if u != d {
+				remote++
+			}
+		}
+	}
+	return float64(remote) / float64(len(up)*len(down))
+}
+
+// filterAcc returns the selectivity accumulator state for a filter
+// instance (lazily created, reusing windowState storage).
+func (s *sim) filterAcc(opID, instIdx int) *windowState {
+	states := s.winState[opID]
+	if states == nil {
+		grp := s.groups[s.opGroup[opID]]
+		states = make([]*windowState, grp.degree)
+		for i := range states {
+			states[i] = &windowState{opID: opID}
+		}
+		s.winState[opID] = states
+	}
+	return states[instIdx]
+}
+
+// insertAggregate buffers a tuple into the window and returns emissions
+// (count-based windows emit inline; time windows emit on timers).
+func (s *sim) insertAggregate(opID, instIdx int, tup tuple) []tuple {
+	op := s.plan.Query.Op(opID)
+	ws := s.winState[opID][instIdx]
+	ws.births = append(ws.births, tup.birthMs)
+	if op.WindowPolicy != queryplan.PolicyCount {
+		return nil
+	}
+	ws.inserts++
+	length := int(op.WindowLength)
+	slide := length
+	if op.WindowType == queryplan.WindowSliding && op.SlidingLength > 0 {
+		slide = int(op.SlidingLength)
+	}
+	if ws.inserts%slide != 0 || len(ws.births) < 1 {
+		return nil
+	}
+	// Window contents: the last `length` buffered tuples.
+	start := len(ws.births) - length
+	if start < 0 {
+		start = 0
+	}
+	contents := ws.births[start:]
+	outs := s.emitGroups(op, ws, contents)
+	if op.WindowType == queryplan.WindowTumbling {
+		ws.births = ws.births[:0]
+	} else if len(ws.births) > 4*length {
+		// Bound sliding-window memory.
+		ws.births = append([]float64{}, ws.births[len(ws.births)-length:]...)
+	}
+	return outs
+}
+
+// onWindowTimer fires a time-window emission for one instance.
+func (s *sim) onWindowTimer(e *event) {
+	op := s.plan.Query.Op(e.op)
+	slide := op.SlidingLength
+	if op.WindowType != queryplan.WindowSliding || slide <= 0 {
+		slide = op.WindowLength
+	}
+	// Reschedule the next tick first.
+	if s.nowMs+slide <= s.endMs {
+		s.schedule(&event{atMs: s.nowMs + slide, kind: evWindowTimer, op: e.op, inst: e.inst})
+	}
+	ws := s.winState[e.op][e.inst]
+	if op.Type == queryplan.OpJoin {
+		for _, o := range s.fireJoinWindow(op, ws) {
+			s.schedule(&event{atMs: s.nowMs, kind: evArrival, op: e.op, inst: e.inst, tup: o, side: emissionSide})
+		}
+		return
+	}
+	// Evict tuples outside the horizon, then emit.
+	horizonStart := s.nowMs - op.WindowLength
+	kept := ws.births[:0]
+	var contents []float64
+	for _, b := range ws.births {
+		if b >= horizonStart {
+			contents = append(contents, b)
+		}
+	}
+	if op.WindowType == queryplan.WindowTumbling {
+		ws.births = kept // tumbling: clear after emission
+	} else {
+		ws.births = append(kept, contents...)
+	}
+	if len(contents) == 0 {
+		return
+	}
+	outs := s.emitGroups(op, ws, contents)
+	// Emissions enter the instance's queue as fresh work starting after
+	// the window operator.
+	for _, o := range outs {
+		s.schedule(&event{atMs: s.nowMs, kind: evArrival, op: e.op, inst: e.inst, tup: o, side: emissionSide})
+	}
+}
+
+// emissionSide marks arrivals that are window emissions resuming mid-chain.
+const emissionSide = -1
+
+// emitGroups produces the aggregate output tuples for one window emission.
+func (s *sim) emitGroups(op *queryplan.Operator, ws *windowState, contents []float64) []tuple {
+	var mean float64
+	for _, b := range contents {
+		mean += b
+	}
+	mean /= float64(len(contents))
+	groups := math.Max(1, math.Min(op.Selectivity*float64(len(contents)), float64(len(contents))))
+	ws.emitAcc += groups
+	n := int(ws.emitAcc)
+	ws.emitAcc -= float64(n)
+	outs := make([]tuple, n)
+	for i := range outs {
+		outs[i] = tuple{birthMs: mean}
+	}
+	return outs
+}
+
+// insertJoin buffers a tuple on its side. Window joins emit at window
+// close (the semantics the analytical model's window-wait term describes):
+// time-policy joins emit on their slide timers, count-policy joins when
+// the combined insert counter crosses the slide boundary.
+func (s *sim) insertJoin(opID, instIdx int, tup tuple, side int) []tuple {
+	op := s.plan.Query.Op(opID)
+	ws := s.winState[opID][instIdx]
+	if side != 0 && side != 1 {
+		side = 0
+	}
+	ws.joinBirths[side] = append(ws.joinBirths[side], tup.birthMs)
+	ws.joinTimes[side] = append(ws.joinTimes[side], s.nowMs)
+	if op.WindowPolicy != queryplan.PolicyCount {
+		return nil // time windows emit on timers
+	}
+	// Keep the last L tuples per side.
+	l := int(op.WindowLength)
+	for sd := 0; sd < 2; sd++ {
+		if len(ws.joinBirths[sd]) > l {
+			ws.joinBirths[sd] = ws.joinBirths[sd][len(ws.joinBirths[sd])-l:]
+			ws.joinTimes[sd] = ws.joinTimes[sd][len(ws.joinTimes[sd])-l:]
+		}
+	}
+	ws.inserts++
+	slide := l
+	if op.WindowType == queryplan.WindowSliding && op.SlidingLength > 0 {
+		slide = int(op.SlidingLength)
+	}
+	if ws.inserts%slide != 0 {
+		return nil
+	}
+	outs := s.emitJoinWindow(op, ws)
+	if op.WindowType == queryplan.WindowTumbling {
+		ws.joinBirths[0], ws.joinBirths[1] = nil, nil
+		ws.joinTimes[0], ws.joinTimes[1] = nil, nil
+	}
+	return outs
+}
+
+// emitJoinWindow produces the expected matches of the current window pair:
+// sel · |W1| · |W2| results whose birth is the mean participant birth.
+func (s *sim) emitJoinWindow(op *queryplan.Operator, ws *windowState) []tuple {
+	n1, n2 := len(ws.joinBirths[0]), len(ws.joinBirths[1])
+	if n1 == 0 || n2 == 0 {
+		return nil
+	}
+	var mean float64
+	for sd := 0; sd < 2; sd++ {
+		for _, b := range ws.joinBirths[sd] {
+			mean += b
+		}
+	}
+	mean /= float64(n1 + n2)
+	ws.matchAcc += op.Selectivity * float64(n1) * float64(n2)
+	n := int(ws.matchAcc)
+	ws.matchAcc -= float64(n)
+	outs := make([]tuple, n)
+	for i := range outs {
+		outs[i] = tuple{birthMs: mean}
+	}
+	return outs
+}
+
+// fireJoinWindow emits the matches of a time-policy join window and evicts
+// tuples outside the horizon (tumbling windows clear entirely).
+func (s *sim) fireJoinWindow(op *queryplan.Operator, ws *windowState) []tuple {
+	outs := s.emitJoinWindow(op, ws)
+	if op.WindowType == queryplan.WindowTumbling {
+		ws.joinBirths[0], ws.joinBirths[1] = nil, nil
+		ws.joinTimes[0], ws.joinTimes[1] = nil, nil
+		return outs
+	}
+	horizonStart := s.nowMs - op.WindowLength
+	for sd := 0; sd < 2; sd++ {
+		keepB, keepT := ws.joinBirths[sd][:0], ws.joinTimes[sd][:0]
+		for i, ts := range ws.joinTimes[sd] {
+			if ts >= horizonStart {
+				keepB = append(keepB, ws.joinBirths[sd][i])
+				keepT = append(keepT, ts)
+			}
+		}
+		ws.joinBirths[sd], ws.joinTimes[sd] = keepB, keepT
+	}
+	return outs
+}
+
+// saturatedTrend reports whether total queue occupancy grew over the run:
+// the average of the last quarter of samples must exceed both the floor
+// and twice the average of the first quarter (after warm-up). Linear queue
+// growth under overload trips this; transient window-emission bursts drain
+// between samples and do not.
+func (s *sim) saturatedTrend() bool {
+	n := len(s.samples)
+	if n < 8 {
+		return false
+	}
+	quarter := n / 4
+	var early, late float64
+	for _, v := range s.samples[quarter : 2*quarter] {
+		early += float64(v)
+	}
+	early /= float64(quarter)
+	for _, v := range s.samples[n-quarter:] {
+		late += float64(v)
+	}
+	late /= float64(quarter)
+	return late > saturationFloor && late > 2*early
+}

@@ -1,0 +1,311 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"zerotune/internal/core"
+	"zerotune/internal/flatvec"
+	"zerotune/internal/gnn"
+	"zerotune/internal/metrics"
+	"zerotune/internal/workload"
+)
+
+// Exp. 1: accuracy on seen and unseen workloads (Table IV, Figs. 5 and 6).
+
+// Table4Row is one row of Table IV: q-error summaries for one query
+// structure.
+type Table4Row struct {
+	Group     string // "seen" / "unseen" / "benchmark"
+	Structure string
+	Lat       metrics.QErrorSummary
+	Tpt       metrics.QErrorSummary
+}
+
+// Table4Result is a rendered portion of Table IV.
+type Table4Result struct {
+	Title string
+	Rows  []Table4Row
+}
+
+// String renders the rows the way Table IV prints them.
+func (r *Table4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-22s %10s %10s %12s %12s\n", "Query Structure",
+		"Lat med", "Lat 95th", "Tpt med", "Tpt 95th")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-22s %10.2f %10.2f %12.2f %12.2f\n",
+			row.Structure, row.Lat.Median, row.Lat.P95, row.Tpt.Median, row.Tpt.P95)
+	}
+	return b.String()
+}
+
+// evalModel computes q-error summaries of the ZeroTune model on items.
+func evalModel(zt *core.ZeroTune, items []*workload.Item) (lat, tpt metrics.QErrorSummary, err error) {
+	latQ, tptQ, err := zt.QErrors(items)
+	if err != nil {
+		return metrics.QErrorSummary{}, metrics.QErrorSummary{}, err
+	}
+	return metrics.Summarize(latQ), metrics.Summarize(tptQ), nil
+}
+
+// RunTable4Seen reproduces Table IV ①: q-errors on seen query structures
+// (the held-out test split), per structure plus overall.
+func (l *Lab) RunTable4Seen() (*Table4Result, error) {
+	ds, err := l.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	zt, err := l.ZeroTune()
+	if err != nil {
+		return nil, err
+	}
+	byTemplate := make(map[string][]*workload.Item)
+	for _, it := range ds.Test {
+		byTemplate[it.Plan.Query.Template] = append(byTemplate[it.Plan.Query.Template], it)
+	}
+	res := &Table4Result{Title: "Table IV (1): seen workload"}
+	for _, tpl := range workload.SeenRanges().Structures {
+		items := byTemplate[tpl]
+		if len(items) == 0 {
+			continue
+		}
+		lat, tpt, err := evalModel(zt, items)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table4Row{Group: "seen", Structure: tpl, Lat: lat, Tpt: tpt})
+	}
+	lat, tpt, err := evalModel(zt, ds.Test)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows, Table4Row{Group: "seen", Structure: "overall", Lat: lat, Tpt: tpt})
+	return res, nil
+}
+
+// RunTable4Unseen reproduces Table IV ②: q-errors on unseen parallel query
+// structures (chained filters, 4–6-way joins), parameters and hardware kept
+// within the seen ranges so the measurement isolates structural
+// generalization.
+func (l *Lab) RunTable4Unseen() (*Table4Result, error) {
+	zt, err := l.ZeroTune()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{Title: "Table IV (2): unseen workload"}
+	for i, tpl := range workload.UnseenRanges().Structures {
+		items, err := l.UnseenStructures(tpl, l.Cfg.TestPerType, uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		lat, tpt, err := evalModel(zt, items)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table4Row{Group: "unseen", Structure: tpl, Lat: lat, Tpt: tpt})
+	}
+	return res, nil
+}
+
+// RunTable4Benchmarks reproduces Table IV ③: q-errors on the public
+// benchmark queries (spike detection, smart-grid local and global).
+func (l *Lab) RunTable4Benchmarks() (*Table4Result, error) {
+	zt, err := l.ZeroTune()
+	if err != nil {
+		return nil, err
+	}
+	res := &Table4Result{Title: "Table IV (3): unseen benchmarks"}
+	for i, tpl := range workload.BenchmarkStructures() {
+		items, err := l.UnseenStructures(tpl, l.Cfg.TestPerType, 100+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		lat, tpt, err := evalModel(zt, items)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, Table4Row{Group: "benchmark", Structure: tpl, Lat: lat, Tpt: tpt})
+	}
+	return res, nil
+}
+
+// Fig5Row compares one model architecture on one scope.
+type Fig5Row struct {
+	Model string // zerotune / linear-regression / flat-mlp / random-forest
+	Scope string // seen / unseen
+	Lat   metrics.QErrorSummary
+	Tpt   metrics.QErrorSummary
+}
+
+// Fig5Result is the model-architecture comparison of Figs. 1 and 5.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// String renders the comparison grid.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 5: model architectures, median (95th) q-errors\n")
+	fmt.Fprintf(&b, "%-20s %-8s %18s %18s\n", "Model", "Scope", "Latency", "Throughput")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-20s %-8s %9.2f (%6.1f) %9.2f (%6.1f)\n",
+			row.Model, row.Scope, row.Lat.Median, row.Lat.P95, row.Tpt.Median, row.Tpt.P95)
+	}
+	return b.String()
+}
+
+// baselineQErrors evaluates one flat-vector baseline on items.
+func baselineQErrors(b *Baselines, model string, items []*workload.Item) (lat, tpt metrics.QErrorSummary) {
+	var latQ, tptQ []float64
+	for _, it := range items {
+		x := flatvec.FromPlan(it.Plan, it.Cluster)
+		var logLat, logTpt float64
+		switch model {
+		case "linear-regression":
+			logLat, logTpt = b.LinLat.Predict(x), b.LinTpt.Predict(x)
+		case "flat-mlp":
+			logLat, logTpt = b.MLP.Predict(x)
+		case "random-forest":
+			logLat, logTpt = b.RFLat.Predict(x), b.RFTpt.Predict(x)
+		default:
+			panic("experiments: unknown baseline " + model)
+		}
+		latQ = append(latQ, metrics.QError(it.LatencyMs, pow10(logLat)))
+		tptQ = append(tptQ, metrics.QError(it.ThroughputEPS, pow10(logTpt)))
+	}
+	return metrics.Summarize(latQ), metrics.Summarize(tptQ)
+}
+
+// pow10 maps a log-space baseline prediction back to natural units,
+// clamping pathological extrapolations so q-errors stay finite.
+func pow10(x float64) float64 {
+	if x > 12 {
+		x = 12
+	}
+	if x < -12 {
+		x = -12
+	}
+	return math.Pow(10, x)
+}
+
+// RunFig5ModelComparison reproduces Figs. 1 and 5: ZeroTune vs the
+// non-transferable flat-vector architectures on seen and unseen workloads.
+func (l *Lab) RunFig5ModelComparison() (*Fig5Result, error) {
+	ds, err := l.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	zt, err := l.ZeroTune()
+	if err != nil {
+		return nil, err
+	}
+	bl, err := l.FlatBaselines()
+	if err != nil {
+		return nil, err
+	}
+	// Unseen pool: a mix across the unseen structures.
+	var unseen []*workload.Item
+	for i, tpl := range workload.UnseenRanges().Structures {
+		items, err := l.UnseenStructures(tpl, l.Cfg.TestPerType/2, 200+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		unseen = append(unseen, items...)
+	}
+
+	res := &Fig5Result{}
+	ztSeenLat, ztSeenTpt, err := evalModel(zt, ds.Test)
+	if err != nil {
+		return nil, err
+	}
+	ztUnLat, ztUnTpt, err := evalModel(zt, unseen)
+	if err != nil {
+		return nil, err
+	}
+	res.Rows = append(res.Rows,
+		Fig5Row{Model: "zerotune", Scope: "seen", Lat: ztSeenLat, Tpt: ztSeenTpt},
+		Fig5Row{Model: "zerotune", Scope: "unseen", Lat: ztUnLat, Tpt: ztUnTpt},
+	)
+	for _, model := range []string{"linear-regression", "flat-mlp", "random-forest"} {
+		lat, tpt := baselineQErrors(bl, model, ds.Test)
+		res.Rows = append(res.Rows, Fig5Row{Model: model, Scope: "seen", Lat: lat, Tpt: tpt})
+		lat, tpt = baselineQErrors(bl, model, unseen)
+		res.Rows = append(res.Rows, Fig5Row{Model: model, Scope: "unseen", Lat: lat, Tpt: tpt})
+	}
+	return res, nil
+}
+
+// Fig6Result reports zero-shot vs few-shot q-errors on complex joins.
+type Fig6Result struct {
+	Structures []string
+	Before     map[string]Table4Row // zero-shot
+	After      map[string]Table4Row // few-shot fine-tuned
+	FineTuneN  int
+}
+
+// String renders the before/after comparison.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig. 6: few-shot fine-tuning with %d complex-join queries\n", r.FineTuneN)
+	fmt.Fprintf(&b, "%-14s %22s %22s\n", "Structure", "zero-shot tpt med(95)", "few-shot tpt med(95)")
+	for _, s := range r.Structures {
+		fmt.Fprintf(&b, "%-14s %12.2f (%6.1f) %12.2f (%6.1f)\n", s,
+			r.Before[s].Tpt.Median, r.Before[s].Tpt.P95,
+			r.After[s].Tpt.Median, r.After[s].Tpt.P95)
+	}
+	return b.String()
+}
+
+// RunFig6FewShot reproduces Fig. 6: fine-tuning the zero-shot model with a
+// few hundred complex-join examples improves throughput prediction for 4-,
+// 5- and 6-way joins.
+func (l *Lab) RunFig6FewShot() (*Fig6Result, error) {
+	structures := []string{"4-way-join", "5-way-join", "6-way-join"}
+	clone, err := l.CloneZeroTune()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{
+		Structures: structures,
+		Before:     make(map[string]Table4Row),
+		After:      make(map[string]Table4Row),
+		FineTuneN:  l.Cfg.FewShotQueries,
+	}
+	testSets := make(map[string][]*workload.Item)
+	for i, s := range structures {
+		items, err := l.UnseenStructures(s, l.Cfg.TestPerType, 300+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		testSets[s] = items
+		lat, tpt, err := evalModel(clone, items)
+		if err != nil {
+			return nil, err
+		}
+		res.Before[s] = Table4Row{Structure: s, Lat: lat, Tpt: tpt}
+	}
+	// Fine-tuning set: a mix of the complex joins, disjoint seeds.
+	var few []*workload.Item
+	for i, s := range structures {
+		items, err := l.UnseenStructures(s, l.Cfg.FewShotQueries/len(structures), 400+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		few = append(few, items...)
+	}
+	cfg := gnn.FewShotConfig()
+	if _, err := clone.FineTune(few, cfg); err != nil {
+		return nil, err
+	}
+	for _, s := range structures {
+		lat, tpt, err := evalModel(clone, testSets[s])
+		if err != nil {
+			return nil, err
+		}
+		res.After[s] = Table4Row{Structure: s, Lat: lat, Tpt: tpt}
+	}
+	return res, nil
+}

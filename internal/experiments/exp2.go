@@ -1,0 +1,222 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/core"
+	"zerotune/internal/gnn"
+	"zerotune/internal/metrics"
+	"zerotune/internal/optisample"
+	"zerotune/internal/workload"
+)
+
+// Exp. 2: fine-grained parallelism analysis (Fig. 7) — q-errors bucketed
+// into the XS/S/M/L/XL parallelism categories.
+
+// Fig7Bucket is one parallelism-category bucket.
+type Fig7Bucket struct {
+	Category string
+	Lat      metrics.QErrorSummary
+	Tpt      metrics.QErrorSummary
+}
+
+// Fig7Result is one panel of Fig. 7.
+type Fig7Result struct {
+	Title   string
+	Buckets []Fig7Bucket
+}
+
+// String renders the panel.
+func (r *Fig7Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%-4s %6s %18s %18s\n", "cat", "n", "lat med(95)", "tpt med(95)")
+	for _, bk := range r.Buckets {
+		fmt.Fprintf(&b, "%-4s %6d %9.2f (%6.1f) %9.2f (%6.1f)\n",
+			bk.Category, bk.Lat.N, bk.Lat.Median, bk.Lat.P95, bk.Tpt.Median, bk.Tpt.P95)
+	}
+	return b.String()
+}
+
+// bucketByCategory evaluates the model and groups q-errors by the plans'
+// average parallelism degree category.
+func bucketByCategory(zt *core.ZeroTune, items []*workload.Item, title string) (*Fig7Result, error) {
+	type pair struct{ lat, tpt []float64 }
+	buckets := make(map[string]*pair)
+	for _, it := range items {
+		latQ, tptQ, err := zt.QErrors([]*workload.Item{it})
+		if err != nil {
+			return nil, err
+		}
+		cat := metrics.ParallelismCategory(it.Plan.AvgDegree())
+		bk := buckets[cat]
+		if bk == nil {
+			bk = &pair{}
+			buckets[cat] = bk
+		}
+		bk.lat = append(bk.lat, latQ[0])
+		bk.tpt = append(bk.tpt, tptQ[0])
+	}
+	res := &Fig7Result{Title: title}
+	for _, cat := range metrics.Categories() {
+		bk := buckets[cat]
+		if bk == nil {
+			continue
+		}
+		res.Buckets = append(res.Buckets, Fig7Bucket{
+			Category: cat,
+			Lat:      metrics.Summarize(bk.lat),
+			Tpt:      metrics.Summarize(bk.tpt),
+		})
+	}
+	return res, nil
+}
+
+// highParallelismGenerator builds workloads whose degree distribution
+// reaches into the larger parallelism categories: high event rates on big
+// clusters, with random exploration so every category is populated.
+func (l *Lab) highParallelismItems(structures []string, n int, seed uint64, types []cluster.NodeType) ([]*workload.Item, error) {
+	gen := &workload.Generator{
+		Ranges:    workload.SeenRanges(),
+		Strategy:  &optisample.Random{MaxDegree: 100},
+		Seed:      seed,
+		NodeTypes: types,
+	}
+	gen.Ranges.Workers = []int{6, 8, 10}
+	// Bias toward high rates so large degrees are justified too.
+	gen.Ranges.EventRates = []float64{50_000, 100_000, 250_000, 500_000, 1_000_000}
+	return gen.Generate(structures, n)
+}
+
+// RunFig7a reproduces Fig. 7a: q-errors per parallelism category on seen
+// query structures.
+func (l *Lab) RunFig7a() (*Fig7Result, error) {
+	zt, err := l.ZeroTune()
+	if err != nil {
+		return nil, err
+	}
+	// The held-out test split covers XS/S; extend with high-parallelism
+	// plans so M/L/XL are populated, as the paper's categories require.
+	ds, err := l.Dataset()
+	if err != nil {
+		return nil, err
+	}
+	extra, err := l.highParallelismItems(workload.SeenRanges().Structures, l.Cfg.TestPerType*2, l.Cfg.Seed+500, cluster.SeenTypes())
+	if err != nil {
+		return nil, err
+	}
+	items := append(append([]*workload.Item{}, ds.Test...), extra...)
+	return bucketByCategory(zt, items, "Fig. 7a: seen plans by parallelism category")
+}
+
+// RunFig7b reproduces Fig. 7b: unseen benchmark plans per category. The
+// benchmarks' low event rates keep OptiSample in the XS/S categories, as
+// the paper notes.
+func (l *Lab) RunFig7b() (*Fig7Result, error) {
+	zt, err := l.ZeroTune()
+	if err != nil {
+		return nil, err
+	}
+	var items []*workload.Item
+	for i, tpl := range workload.BenchmarkStructures() {
+		batch, err := l.UnseenStructures(tpl, l.Cfg.TestPerType, 500+uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, batch...)
+	}
+	return bucketByCategory(zt, items, "Fig. 7b: unseen benchmark plans by parallelism category")
+}
+
+// RunFig7c reproduces Fig. 7c: plans on unseen homogeneous and
+// heterogeneous hardware, per category.
+func (l *Lab) RunFig7c() (*Fig7Result, []*Fig7Result, error) {
+	zt, err := l.ZeroTune()
+	if err != nil {
+		return nil, nil, err
+	}
+	// Unseen homogeneous: c6420 only; unseen heterogeneous: the mixed pool.
+	homType := []cluster.NodeType{}
+	hetTypes := []cluster.NodeType{}
+	for _, t := range cluster.UnseenTypes() {
+		if t.Homog {
+			homType = append(homType, t)
+		} else {
+			hetTypes = append(hetTypes, t)
+		}
+	}
+	var panels []*Fig7Result
+	var combined []*workload.Item
+	for i, pool := range [][]cluster.NodeType{homType, hetTypes} {
+		name := "homogeneous"
+		if i == 1 {
+			name = "heterogeneous"
+		}
+		// Plans are enumerated the way the paper's test plans were
+		// (OptiSample with exploration), at high rates on large unseen
+		// machines so the upper parallelism categories are populated.
+		gen := &workload.Generator{
+			Ranges:    workload.SeenRanges(),
+			Strategy:  optisample.Default(),
+			Seed:      l.Cfg.Seed + 600 + uint64(i),
+			NodeTypes: pool,
+		}
+		gen.Ranges.Workers = []int{6, 8, 10}
+		gen.Ranges.EventRates = []float64{50_000, 100_000, 250_000, 500_000, 1_000_000}
+		items, err := gen.Generate(workload.SeenRanges().Structures, l.Cfg.TestPerType)
+		if err != nil {
+			return nil, nil, err
+		}
+		combined = append(combined, items...)
+		panel, err := bucketByCategory(zt, items, fmt.Sprintf("Fig. 7c (%s unseen hardware)", name))
+		if err != nil {
+			return nil, nil, err
+		}
+		panels = append(panels, panel)
+	}
+	all, err := bucketByCategory(zt, combined, "Fig. 7c: unseen hardware by parallelism category")
+	if err != nil {
+		return nil, nil, err
+	}
+	return all, panels, nil
+}
+
+// RunFig7d reproduces Fig. 7d: zero-shot vs few-shot q-errors on unseen
+// complex joins, per parallelism category.
+func (l *Lab) RunFig7d() (*Fig7Result, *Fig7Result, error) {
+	structures := []string{"4-way-join", "5-way-join", "6-way-join"}
+	clone, err := l.CloneZeroTune()
+	if err != nil {
+		return nil, nil, err
+	}
+	var test []*workload.Item
+	for i, s := range structures {
+		items, err := l.UnseenStructures(s, l.Cfg.TestPerType, 700+uint64(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		test = append(test, items...)
+	}
+	zeroShot, err := bucketByCategory(clone, test, "Fig. 7d: unseen joins, zero-shot")
+	if err != nil {
+		return nil, nil, err
+	}
+	var few []*workload.Item
+	for i, s := range structures {
+		items, err := l.UnseenStructures(s, l.Cfg.FewShotQueries/len(structures), 800+uint64(i))
+		if err != nil {
+			return nil, nil, err
+		}
+		few = append(few, items...)
+	}
+	if _, err := clone.FineTune(few, gnn.FewShotConfig()); err != nil {
+		return nil, nil, err
+	}
+	fewShot, err := bucketByCategory(clone, test, "Fig. 7d: unseen joins, few-shot")
+	if err != nil {
+		return nil, nil, err
+	}
+	return zeroShot, fewShot, nil
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/metrics"
+	"zerotune/internal/optisample"
+	"zerotune/internal/workload"
+)
+
+// Exp. 3: generalization for unseen parameters (Fig. 8) — median q-errors
+// while sweeping one workload parameter across its seen (white) and unseen
+// (shaded) range.
+
+// Fig8Point is one sweep value.
+type Fig8Point struct {
+	Value  float64
+	Seen   bool // inside the training range
+	LatMed float64
+	TptMed float64
+	N      int
+}
+
+// Fig8Result is one panel of Fig. 8.
+type Fig8Result struct {
+	Title  string
+	Param  string
+	Points []Fig8Point
+}
+
+// String renders the panel.
+func (r *Fig8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", r.Title)
+	fmt.Fprintf(&b, "%14s %6s %10s %10s\n", r.Param, "range", "lat med", "tpt med")
+	for _, p := range r.Points {
+		scope := "unseen"
+		if p.Seen {
+			scope = "seen"
+		}
+		fmt.Fprintf(&b, "%14.0f %6s %10.2f %10.2f\n", p.Value, scope, p.LatMed, p.TptMed)
+	}
+	return b.String()
+}
+
+// sweep evaluates the trained model on workloads generated with one pinned
+// parameter value; mixed seen structures as the paper does ("equal
+// distribution between linear, 2- and 3-way join queries").
+func (l *Lab) sweep(title, param string, values []float64, seenSet map[float64]bool,
+	pin func(v float64) workload.Overrides, perValue int, seedBase uint64) (*Fig8Result, error) {
+
+	zt, err := l.ZeroTune()
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig8Result{Title: title, Param: param}
+	for i, v := range values {
+		gen := &workload.Generator{
+			Ranges:    workload.SeenRanges(),
+			Strategy:  optisample.Default(),
+			Seed:      l.Cfg.Seed + seedBase + uint64(i),
+			NodeTypes: cluster.SeenTypes(),
+		}
+		items, err := gen.GenerateWith(workload.SeenRanges().Structures, perValue, pin(v))
+		if err != nil {
+			return nil, err
+		}
+		latQ, tptQ, err := zt.QErrors(items)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig8Point{
+			Value:  v,
+			Seen:   seenSet[v],
+			LatMed: metrics.Median(latQ),
+			TptMed: metrics.Median(tptQ),
+			N:      len(items),
+		})
+	}
+	return res, nil
+}
+
+func seenSetOf(vals []float64) map[float64]bool {
+	m := make(map[float64]bool, len(vals))
+	for _, v := range vals {
+		m[v] = true
+	}
+	return m
+}
+
+func seenSetOfInts(vals []int) map[float64]bool {
+	m := make(map[float64]bool, len(vals))
+	for _, v := range vals {
+		m[float64(v)] = true
+	}
+	return m
+}
+
+// RunFig8TupleWidth reproduces Fig. 8a: tuple widths 1–15, unseen 6–15.
+func (l *Lab) RunFig8TupleWidth() (*Fig8Result, error) {
+	var values []float64
+	for w := 1; w <= 15; w++ {
+		values = append(values, float64(w))
+	}
+	return l.sweep("Fig. 8a: tuple width", "width", values,
+		seenSetOfInts(workload.SeenRanges().TupleWidths),
+		func(v float64) workload.Overrides { return workload.Overrides{TupleWidth: int(v)} },
+		l.Cfg.TestPerType/2, 900)
+}
+
+// RunFig8EventRate reproduces Fig. 8b: event rates across the seen grid and
+// the unseen inter-/extrapolation points up to 4M ev/s.
+func (l *Lab) RunFig8EventRate() (*Fig8Result, error) {
+	seen := workload.SeenRanges().EventRates
+	values := append(append([]float64{}, seen...), workload.UnseenRanges().EventRates...)
+	sortFloats(values)
+	return l.sweep("Fig. 8b: event rate", "rate", values, seenSetOf(seen),
+		func(v float64) workload.Overrides { return workload.Overrides{EventRate: v} },
+		l.Cfg.TestPerType/4, 1000)
+}
+
+// RunFig8WindowDuration reproduces Fig. 8c: time-based window durations
+// 50 ms – 10 s.
+func (l *Lab) RunFig8WindowDuration() (*Fig8Result, error) {
+	seen := workload.SeenRanges().WindowDurations
+	values := append(append([]float64{}, seen...), workload.UnseenRanges().WindowDurations...)
+	sortFloats(values)
+	return l.sweep("Fig. 8c: window duration (ms)", "duration", values, seenSetOf(seen),
+		func(v float64) workload.Overrides { return workload.Overrides{WindowDurationMs: v} },
+		l.Cfg.TestPerType/4, 1100)
+}
+
+// RunFig8WindowLength reproduces Fig. 8d: count-based window lengths 2–400
+// tuples.
+func (l *Lab) RunFig8WindowLength() (*Fig8Result, error) {
+	seen := workload.SeenRanges().WindowLengths
+	values := append(append([]float64{}, seen...), workload.UnseenRanges().WindowLengths...)
+	sortFloats(values)
+	return l.sweep("Fig. 8d: window length (tuples)", "length", values, seenSetOf(seen),
+		func(v float64) workload.Overrides { return workload.Overrides{WindowLength: v} },
+		l.Cfg.TestPerType/4, 1200)
+}
+
+// RunFig8Workers reproduces Fig. 8e: cluster sizes 2–10 workers, unseen
+// 3, 8 and 10.
+func (l *Lab) RunFig8Workers() (*Fig8Result, error) {
+	values := []float64{2, 3, 4, 6, 8, 10}
+	return l.sweep("Fig. 8e: amount of workers", "workers", values,
+		seenSetOfInts(workload.SeenRanges().Workers),
+		func(v float64) workload.Overrides { return workload.Overrides{Workers: int(v)} },
+		l.Cfg.TestPerType/2, 1300)
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"zerotune/internal/metrics"
+)
+
+// tinyLab is a shared, lazily initialized lab with a deliberately small
+// configuration so the whole experiment surface can be exercised in tests.
+var (
+	tinyOnce sync.Once
+	tinyLab  *Lab
+)
+
+func lab(t *testing.T) *Lab {
+	t.Helper()
+	tinyOnce.Do(func() {
+		tinyLab = NewLab(Config{
+			TrainQueries:       240,
+			TestPerType:        16,
+			Epochs:             8,
+			Hidden:             16,
+			FewShotQueries:     24,
+			TuneQueriesPerType: 2,
+			Seed:               1,
+		})
+	})
+	return tinyLab
+}
+
+func TestLabDatasetCached(t *testing.T) {
+	l := lab(t)
+	a, err := l.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Dataset()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("dataset not cached")
+	}
+	if len(a.Train) == 0 || len(a.Test) == 0 {
+		t.Fatal("empty splits")
+	}
+}
+
+func TestLabModelCached(t *testing.T) {
+	l := lab(t)
+	a, err := l.ZeroTune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.ZeroTune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("model not cached")
+	}
+}
+
+func TestCloneZeroTuneIndependent(t *testing.T) {
+	l := lab(t)
+	orig, err := l.ZeroTune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := l.CloneZeroTune()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clone == orig || clone.Model == orig.Model {
+		t.Fatal("clone shares the model")
+	}
+}
+
+func TestRunTable4AllPanels(t *testing.T) {
+	l := lab(t)
+	seen, err := l.RunTable4Seen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen.Rows) < 2 || seen.Rows[len(seen.Rows)-1].Structure != "overall" {
+		t.Fatalf("seen rows: %+v", seen.Rows)
+	}
+	unseen, err := l.RunTable4Unseen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unseen.Rows) != 6 {
+		t.Fatalf("unseen rows: %d", len(unseen.Rows))
+	}
+	bench, err := l.RunTable4Benchmarks()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bench.Rows) != 3 {
+		t.Fatalf("benchmark rows: %d", len(bench.Rows))
+	}
+	for _, r := range append(append(seen.Rows, unseen.Rows...), bench.Rows...) {
+		if r.Lat.Median < 1 || r.Tpt.Median < 1 {
+			t.Fatalf("q-error below 1 in row %+v", r)
+		}
+	}
+	if !strings.Contains(seen.String(), "overall") {
+		t.Fatal("String render broken")
+	}
+}
+
+func TestRunFig5Comparison(t *testing.T) {
+	l := lab(t)
+	res, err := l.RunFig5ModelComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 { // 4 models × 2 scopes
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if !strings.Contains(res.String(), "zerotune") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRunFig6FewShot(t *testing.T) {
+	l := lab(t)
+	res, err := l.RunFig6FewShot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Structures {
+		if res.Before[s].Tpt.N == 0 || res.After[s].Tpt.N == 0 {
+			t.Fatalf("missing few-shot summaries for %s", s)
+		}
+	}
+	if !strings.Contains(res.String(), "few-shot") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRunFig3Shape(t *testing.T) {
+	res, err := RunFig3(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7 {
+		t.Fatalf("%d points", len(res.Points))
+	}
+	// Throughput must rise from P=1 to P=8 (backpressure relief).
+	if res.Points[3].ThroughputEPS <= res.Points[0].ThroughputEPS {
+		t.Fatalf("throughput did not rise with parallelism: %+v", res.Points)
+	}
+	// Latency at P=8 must be below P=1.
+	if res.Points[3].LatencyMs >= res.Points[0].LatencyMs {
+		t.Fatalf("latency did not fall with parallelism: %+v", res.Points)
+	}
+	// The chaining jump: the first chained point must improve latency over
+	// the last unchained point.
+	var lastUnchained, firstChained *Fig3Point
+	for i := range res.Points {
+		if !res.Points[i].Chained {
+			lastUnchained = &res.Points[i]
+		} else if firstChained == nil {
+			firstChained = &res.Points[i]
+		}
+	}
+	if lastUnchained == nil || firstChained == nil {
+		t.Fatal("sweep missing chained/unchained phases")
+	}
+	if firstChained.LatencyMs >= lastUnchained.LatencyMs {
+		t.Fatalf("no chaining improvement: %v -> %v", lastUnchained.LatencyMs, firstChained.LatencyMs)
+	}
+}
+
+func TestRunFig7Panels(t *testing.T) {
+	l := lab(t)
+	a, err := l.RunFig7a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Buckets) < 2 {
+		t.Fatalf("fig7a has %d buckets", len(a.Buckets))
+	}
+	b, err := l.RunFig7b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Buckets) == 0 {
+		t.Fatal("fig7b empty")
+	}
+	c, panels, err := l.RunFig7c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Buckets) == 0 || len(panels) != 2 {
+		t.Fatal("fig7c incomplete")
+	}
+	zero, few, err := l.RunFig7d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zero.Buckets) == 0 || len(few.Buckets) == 0 {
+		t.Fatal("fig7d incomplete")
+	}
+	if !strings.Contains(a.String(), "XS") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRunFig8Sweeps(t *testing.T) {
+	l := lab(t)
+	width, err := l.RunFig8TupleWidth()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(width.Points) != 15 {
+		t.Fatalf("tuple width points: %d", len(width.Points))
+	}
+	seenCount := 0
+	for _, p := range width.Points {
+		if p.Seen {
+			seenCount++
+		}
+	}
+	if seenCount != 5 {
+		t.Fatalf("tuple width seen flags: %d", seenCount)
+	}
+	workers, err := l.RunFig8Workers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(workers.Points) != 6 {
+		t.Fatalf("worker points: %d", len(workers.Points))
+	}
+	if !strings.Contains(width.String(), "width") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRunFig8RateAndWindows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long sweep")
+	}
+	l := lab(t)
+	rate, err := l.RunFig8EventRate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rate.Points) != 35 { // 16 seen + 19 unseen
+		t.Fatalf("rate points: %d", len(rate.Points))
+	}
+	dur, err := l.RunFig8WindowDuration()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dur.Points) != 20 {
+		t.Fatalf("duration points: %d", len(dur.Points))
+	}
+	length, err := l.RunFig8WindowLength()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(length.Points) != 20 {
+		t.Fatalf("length points: %d", len(length.Points))
+	}
+}
+
+func TestRunFig9DataEfficiency(t *testing.T) {
+	l := lab(t)
+	res, err := l.RunFig9DataEfficiency([]int{60, 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 { // 2 strategies × 2 sizes
+		t.Fatalf("%d points", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.TrainTime <= 0 {
+			t.Fatalf("missing train time: %+v", p)
+		}
+	}
+	if !strings.Contains(res.String(), "optisample") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRunFig10Tuning(t *testing.T) {
+	l := lab(t)
+	a, err := l.RunFig10aSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(tuningStructures) {
+		t.Fatalf("fig10a rows: %d", len(a.Rows))
+	}
+	for _, r := range a.Rows {
+		if r.LatSpeedup <= 0 || r.TptSpeedup <= 0 {
+			t.Fatalf("non-positive speedup: %+v", r)
+		}
+	}
+	b, err := l.RunFig10bDhalion()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Rows) != len(tuningStructures) {
+		t.Fatalf("fig10b rows: %d", len(b.Rows))
+	}
+	for _, r := range b.Rows {
+		if r.ZeroTune < 0 || r.ZeroTune > 1 || r.Dhalion < 0 || r.Dhalion > 1 {
+			t.Fatalf("weighted cost outside [0,1]: %+v", r)
+		}
+	}
+	if !strings.Contains(a.String(), "speed-up") || !strings.Contains(b.String(), "dhalion") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestRunFig11Ablation(t *testing.T) {
+	l := lab(t)
+	res, err := l.RunFig11Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("%d ablation rows", len(res.Rows))
+	}
+	if res.Rows[2].Features != "all" {
+		t.Fatalf("last row should be the full model: %+v", res.Rows[2])
+	}
+	if !strings.Contains(res.String(), "ablation") {
+		t.Fatal("render broken")
+	}
+}
+
+func TestParallelismCategoriesCovered(t *testing.T) {
+	// The high-parallelism generator must reach beyond XS.
+	l := lab(t)
+	items, err := l.highParallelismItems([]string{"linear"}, 40, 99, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cats := map[string]bool{}
+	for _, it := range items {
+		cats[metrics.ParallelismCategory(it.Plan.AvgDegree())] = true
+	}
+	if len(cats) < 3 {
+		t.Fatalf("only categories %v reached", cats)
+	}
+}
+
+func TestRunReadoutAblation(t *testing.T) {
+	l := lab(t)
+	res, err := l.RunReadoutAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	if res.Rows[0].Readout != "structured" || res.Rows[1].Readout != "sink" {
+		t.Fatalf("rows: %+v", res.Rows)
+	}
+	if !strings.Contains(res.String(), "read-out") {
+		t.Fatal("render broken")
+	}
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/simulator"
+)
+
+// Fig3Point is one sweep point of the Fig. 3 micro-benchmark.
+type Fig3Point struct {
+	Parallelism   int
+	Chained       bool // operator grouping active at this degree
+	LatencyMs     float64
+	ThroughputEPS float64
+}
+
+// Fig3Result is the parallelism micro-benchmark of Fig. 3.
+type Fig3Result struct {
+	Points []Fig3Point
+}
+
+// String renders the sweep.
+func (r *Fig3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 3: parallelism degree vs cost (count tumbling window, linear query)\n")
+	fmt.Fprintf(&b, "%12s %10s %14s %10s\n", "parallelism", "latency", "throughput", "grouped")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%12d %9.2fms %12.0f/s %10v\n", p.Parallelism, p.LatencyMs, p.ThroughputEPS, p.Chained)
+	}
+	return b.String()
+}
+
+// RunFig3 reproduces the Fig. 3 micro-benchmark: a linear query with a
+// count-based tumbling window, all parameters fixed, sweeping the
+// parallelism degree. The input rate saturates the cluster at low degrees
+// (the paper drives the cluster to maximum utilization without
+// backpressure at the top of the sweep). Operator grouping (chaining) is
+// emulated the way the paper observed Flink's scheduler behave: the engine
+// fuses equal-parallelism operators once the degree crosses the grouping
+// threshold, producing the sudden cost improvement highlighted in blue.
+func RunFig3(chainThreshold int) (*Fig3Result, error) {
+	if chainThreshold <= 0 {
+		chainThreshold = 32
+	}
+	// Big homogeneous cluster so high degrees fit without oversubscription.
+	nodes, err := cluster.New(8, []cluster.NodeType{{
+		Name: "rs6525", Cores: 64, FreqGHz: 2.8, MemGB: 256,
+	}}, 10)
+	if err != nil {
+		return nil, err
+	}
+	const rate = 2_000_000 // saturates the pipeline below parallelism ≈ 8
+
+	res := &Fig3Result{}
+	for _, par := range []int{1, 2, 4, 8, 16, 32, 64} {
+		q := queryplan.Linear(
+			queryplan.SourceSpec{EventRate: rate, TupleWidth: 3, DataType: queryplan.TypeDouble},
+			queryplan.FilterSpec{Func: queryplan.CmpLE, LiteralClass: queryplan.TypeDouble, Selectivity: 0.6},
+			queryplan.AggSpec{Func: queryplan.AggAvg, Class: queryplan.TypeDouble, KeyClass: queryplan.TypeInt,
+				Selectivity: 0.1,
+				Window:      queryplan.WindowSpec{Type: queryplan.WindowTumbling, Policy: queryplan.PolicyCount, Length: 50}},
+		)
+		p := queryplan.NewPQP(q)
+		for _, o := range q.Ops {
+			if o.Type != queryplan.OpSink {
+				p.SetDegree(o.ID, par)
+			}
+		}
+		chained := par >= chainThreshold
+		if chained {
+			// Operator grouping: the sink joins the chain as well.
+			p.SetDegree(q.Sink().ID, par)
+		}
+		sim, err := simulator.Simulate(p, nodes, simulator.Options{
+			DisableNoise:    true,
+			DisableChaining: !chained,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, Fig3Point{
+			Parallelism:   par,
+			Chained:       chained,
+			LatencyMs:     sim.LatencyMs,
+			ThroughputEPS: sim.CapacityEPS, // paper reports achievable throughput
+		})
+	}
+	return res, nil
+}

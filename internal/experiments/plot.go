@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"zerotune/internal/viz"
+)
+
+// Terminal plots for the figure-type results: the paper's artifacts are
+// charts, and trends read better as lines than as table columns.
+
+// Plot renders the Fig. 3 sweep (latency and throughput vs parallelism).
+func (r *Fig3Result) Plot() string {
+	var xs, lat, tpt []float64
+	for _, p := range r.Points {
+		xs = append(xs, float64(p.Parallelism))
+		lat = append(lat, p.LatencyMs)
+		tpt = append(tpt, p.ThroughputEPS)
+	}
+	out := viz.Line([]viz.Series{{Name: "latency (ms)", X: xs, Y: lat}},
+		viz.Options{Title: "Fig. 3: latency vs parallelism", LogX: true, XLabel: "parallelism", YLabel: "ms", Height: 12})
+	out += viz.Line([]viz.Series{{Name: "throughput (ev/s)", X: xs, Y: tpt}},
+		viz.Options{Title: "Fig. 3: throughput vs parallelism", LogX: true, XLabel: "parallelism", YLabel: "ev/s", Height: 12})
+	return out
+}
+
+// Plot renders one Fig. 8 sweep panel (latency and throughput medians).
+func (r *Fig8Result) Plot() string {
+	var xs, lat, tpt []float64
+	logX := false
+	for _, p := range r.Points {
+		xs = append(xs, p.Value)
+		lat = append(lat, p.LatMed)
+		tpt = append(tpt, p.TptMed)
+	}
+	if len(xs) > 1 && xs[len(xs)-1]/xs[0] > 100 {
+		logX = true // rate-like sweeps span orders of magnitude
+	}
+	return viz.Line([]viz.Series{
+		{Name: "latency q-error", X: xs, Y: lat},
+		{Name: "throughput q-error", X: xs, Y: tpt},
+	}, viz.Options{Title: r.Title, LogX: logX, XLabel: r.Param, YLabel: "median q-error", Height: 12})
+}
+
+// Plot renders the Fig. 9 data-efficiency curves (unseen latency median vs
+// corpus size, one line per strategy).
+func (r *Fig9Result) Plot() string {
+	bySt := map[string]*viz.Series{}
+	var order []string
+	for _, p := range r.Points {
+		s := bySt[p.Strategy]
+		if s == nil {
+			s = &viz.Series{Name: p.Strategy}
+			bySt[p.Strategy] = s
+			order = append(order, p.Strategy)
+		}
+		s.X = append(s.X, float64(p.Queries))
+		s.Y = append(s.Y, p.UnseenLatMed)
+	}
+	var series []viz.Series
+	for _, name := range order {
+		series = append(series, *bySt[name])
+	}
+	return viz.Line(series, viz.Options{
+		Title: "Fig. 9: unseen latency median vs training queries",
+		LogX:  true, XLabel: "training queries", YLabel: "median q-error", Height: 12,
+	})
+}
+
+// Plot renders the Fig. 10a speed-ups as bars.
+func (r *Fig10aResult) Plot() string {
+	var labels []string
+	var vals []float64
+	for _, row := range r.Rows {
+		labels = append(labels, row.Structure)
+		vals = append(vals, row.LatSpeedup)
+	}
+	return viz.Bars("Fig. 10a: latency speed-up vs greedy (×)", labels, vals, 40)
+}
+
+// Plot renders the Fig. 10b weighted costs as paired bars.
+func (r *Fig10bResult) Plot() string {
+	var labels []string
+	var zt, dh []float64
+	for _, row := range r.Rows {
+		labels = append(labels, row.Structure)
+		zt = append(zt, row.ZeroTune)
+		dh = append(dh, row.Dhalion)
+	}
+	out := viz.Bars("Fig. 10b: ZeroTune weighted cost", labels, zt, 40)
+	out += viz.Bars("Fig. 10b: Dhalion weighted cost", labels, dh, 40)
+	return out
+}

@@ -1,0 +1,511 @@
+// Package features implements ZeroTune's transferable featurization
+// (Table I) and the parallel graph representation (Sec. III-C2): every
+// logical operator becomes one graph node carrying parallelism-, data- and
+// operator-related features; every distinct cluster machine becomes a
+// physical resource node; data-flow edges, resource edges and
+// operator→resource mapping edges connect them.
+//
+// All transforms are fixed (log scaling, one-hot encodings) rather than
+// fitted to a dataset — a zero-shot model cannot assume it will see the
+// test distribution, so no dataset statistics are baked into the encoding.
+package features
+
+import (
+	"fmt"
+	"math"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+// Operator feature vector layout. Grouped by the Table I categories so the
+// ablation masks (Fig. 11) can blank one category at a time.
+const (
+	// operator-parallelism category
+	FeatDegree      = iota // log2(parallelism degree)
+	FeatPartForward        // partitioning one-hot
+	FeatPartRebalance
+	FeatPartHash
+	FeatGrouping // log2(chain-group size)
+
+	// data category
+	FeatTupleWidthIn
+	FeatTupleWidthOut
+	FeatTypeInt // tuple data type one-hot
+	FeatTypeDouble
+	FeatTypeString
+	FeatSelectivity  // log10(selectivity + 1e-6)
+	FeatEventRate    // log10(rate + 1), sources only
+	FeatInputRate    // log10(estimated input rate + 1): estimated analytically
+	FeatOpTypeSource // operator category: operator type one-hot
+	FeatOpTypeFilter
+	FeatOpTypeAgg
+	FeatOpTypeJoin
+	FeatOpTypeSink
+	FeatCmpLT // filter function one-hot
+	FeatCmpLE
+	FeatCmpGT
+	FeatCmpGE
+	FeatCmpEQ
+	FeatCmpNE
+	FeatLitInt // filter literal class one-hot
+	FeatLitDouble
+	FeatLitString
+	FeatWinTumbling // window type one-hot
+	FeatWinSliding
+	FeatPolicyCount // window policy one-hot
+	FeatPolicyTime
+	FeatWindowLength  // log10(length + 1)
+	FeatSlidingLength // log10(slide + 1)
+	FeatJoinKeyInt    // join key class one-hot
+	FeatJoinKeyDouble
+	FeatJoinKeyString
+	FeatAggClassInt // aggregation class one-hot
+	FeatAggClassDouble
+	FeatAggClassString
+	FeatAggMin // aggregation function one-hot
+	FeatAggMax
+	FeatAggAvg
+	FeatAggSum
+	FeatAggCount
+	FeatAggKeyInt // aggregation key class one-hot
+	FeatAggKeyDouble
+	FeatAggKeyString
+
+	// OpFeatDim is the width of an operator node's feature vector.
+	OpFeatDim
+)
+
+// Resource feature vector layout (Table I, resource category).
+const (
+	ResFeatCores   = iota // log2(cores)
+	ResFeatFreq           // GHz
+	ResFeatMem            // log2(GB)
+	ResFeatLink           // log2(Gbps + 1)
+	ResFeatSlots          // log2(task slots placed on the node + 1)
+	ResFeatOversub        // log2(max(1, slots/cores)): slot oversubscription
+
+	// ResFeatDim is the width of a resource node's feature vector.
+	ResFeatDim
+)
+
+// Mask selects which Table I feature categories are visible to the model —
+// the knob behind the Fig. 11 ablation study.
+type Mask int
+
+// Feature masks.
+const (
+	// MaskAll keeps every transferable feature (the full ZeroTune model).
+	MaskAll Mask = iota
+	// MaskOperatorOnly keeps operator- and data-related features, blanking
+	// parallelism- and resource-related ones.
+	MaskOperatorOnly
+	// MaskParallelismResource keeps parallelism- and resource-related
+	// features, blanking operator- and data-related ones.
+	MaskParallelismResource
+)
+
+// String implements fmt.Stringer.
+func (m Mask) String() string {
+	switch m {
+	case MaskAll:
+		return "all"
+	case MaskOperatorOnly:
+		return "operator-only"
+	case MaskParallelismResource:
+		return "parallelism+resource"
+	default:
+		return fmt.Sprintf("mask(%d)", int(m))
+	}
+}
+
+// parallelismFeatures are the operator-parallelism category indices.
+var parallelismFeatures = []int{FeatDegree, FeatPartForward, FeatPartRebalance, FeatPartHash, FeatGrouping}
+
+// operatorDataFeatures are the data + operator category indices (everything
+// except the parallelism block; resource features live on resource nodes).
+var operatorDataFeatures = func() []int {
+	var out []int
+	for i := 0; i < OpFeatDim; i++ {
+		inPar := false
+		for _, p := range parallelismFeatures {
+			if i == p {
+				inPar = true
+				break
+			}
+		}
+		if !inPar {
+			out = append(out, i)
+		}
+	}
+	return out
+}()
+
+func log10p(x float64) float64 { return math.Log10(x + 1) }
+
+func log2p(x float64) float64 {
+	if x < 1 {
+		x = 1
+	}
+	return math.Log2(x)
+}
+
+// OpNode is one logical operator in the encoded graph.
+type OpNode struct {
+	OpID int
+	Type queryplan.OpType
+	Feat tensor.Vector
+}
+
+// ResNode is one physical machine in the encoded graph.
+type ResNode struct {
+	Name string
+	Feat tensor.Vector
+}
+
+// MapEdge is one operator→resource mapping edge: Instances of the operator
+// run on that resource (the per-instance edge information of Fig. 4 step ②,
+// aggregated per distinct machine).
+type MapEdge struct {
+	OpIdx     int
+	ResIdx    int
+	Instances int
+}
+
+// Graph is the GNN input: the parallel query plan in its graph
+// representation.
+type Graph struct {
+	OpNodes  []OpNode
+	ResNodes []ResNode
+	// DataEdges are data-flow edges as [from, to] indices into OpNodes,
+	// topologically ordered by construction.
+	DataEdges [][2]int
+	// Mapping holds the operator→resource mapping edges.
+	Mapping []MapEdge
+	// SinkIdx is the index of the sink node in OpNodes, where the read-out
+	// happens.
+	SinkIdx int
+
+	// Labels (filled by the dataset builder; zero during pure inference).
+	LatencyMs     float64
+	ThroughputEPS float64
+
+	// Provenance for result bucketing (experiments).
+	Template  string
+	AvgDegree float64
+}
+
+// Encode builds the graph representation of plan p placed on cluster c.
+// The plan must already have a placement (Encode never mutates p).
+func Encode(p *queryplan.PQP, c *cluster.Cluster, mask Mask) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("features: %w", err)
+	}
+	if len(p.Placement) != len(p.Query.Ops) {
+		return nil, fmt.Errorf("features: plan has no complete placement (%d of %d operators)",
+			len(p.Placement), len(p.Query.Ops))
+	}
+	order, err := p.Query.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	grouping := p.GroupingNumber()
+	inRates := estimateInputRates(p.Query, order)
+
+	g := &Graph{Template: p.Query.Template, AvgDegree: p.AvgDegree()}
+	opIdx := make(map[int]int, len(order))
+	for _, id := range order {
+		op := p.Query.Op(id)
+		feat := encodeOperator(op, p, grouping[id], inRates[id], mask)
+		opIdx[id] = len(g.OpNodes)
+		g.OpNodes = append(g.OpNodes, OpNode{OpID: id, Type: op.Type, Feat: feat})
+		if op.Type == queryplan.OpSink {
+			g.SinkIdx = opIdx[id]
+		}
+	}
+	for _, e := range p.Query.Edges {
+		g.DataEdges = append(g.DataEdges, [2]int{opIdx[e.From], opIdx[e.To]})
+	}
+
+	// Resource nodes: one per distinct machine hosting at least one
+	// instance.
+	slotLoad := cluster.SlotLoad(p)
+	resIdx := make(map[string]int)
+	for _, id := range order {
+		for _, nodeName := range p.Placement[id] {
+			if _, ok := resIdx[nodeName]; ok {
+				continue
+			}
+			n := c.Node(nodeName)
+			if n == nil {
+				return nil, fmt.Errorf("features: placement references unknown node %q", nodeName)
+			}
+			feat := encodeResource(n, c.LinkGbps, slotLoad[nodeName], mask)
+			resIdx[nodeName] = len(g.ResNodes)
+			g.ResNodes = append(g.ResNodes, ResNode{Name: nodeName, Feat: feat})
+		}
+	}
+	// Mapping edges: instances of each operator per machine.
+	for _, id := range order {
+		counts := make(map[string]int)
+		for _, nodeName := range p.Placement[id] {
+			counts[nodeName]++
+		}
+		// Deterministic order: walk the placement slice, emitting each
+		// machine once.
+		emitted := make(map[string]bool)
+		for _, nodeName := range p.Placement[id] {
+			if emitted[nodeName] {
+				continue
+			}
+			emitted[nodeName] = true
+			g.Mapping = append(g.Mapping, MapEdge{
+				OpIdx:     opIdx[id],
+				ResIdx:    resIdx[nodeName],
+				Instances: counts[nodeName],
+			})
+		}
+	}
+	return g, nil
+}
+
+// encodeOperator builds one operator node's feature vector.
+func encodeOperator(op *queryplan.Operator, p *queryplan.PQP, grouping int, inRate float64, mask Mask) tensor.Vector {
+	f := tensor.NewVector(OpFeatDim)
+
+	// operator-parallelism category
+	f[FeatDegree] = log2p(float64(p.Degree(op.ID)))
+	switch dominantPartitioning(p.Query, op.ID) {
+	case queryplan.PartForward:
+		f[FeatPartForward] = 1
+	case queryplan.PartRebalance:
+		f[FeatPartRebalance] = 1
+	case queryplan.PartHash:
+		f[FeatPartHash] = 1
+	}
+	f[FeatGrouping] = log2p(float64(grouping))
+
+	// data category
+	f[FeatTupleWidthIn] = float64(op.TupleWidthIn) / 4
+	f[FeatTupleWidthOut] = float64(op.TupleWidthOut) / 4
+	switch op.TupleDataType {
+	case queryplan.TypeInt:
+		f[FeatTypeInt] = 1
+	case queryplan.TypeDouble:
+		f[FeatTypeDouble] = 1
+	case queryplan.TypeString:
+		f[FeatTypeString] = 1
+	}
+	f[FeatSelectivity] = math.Log10(op.Selectivity + 1e-6)
+	f[FeatEventRate] = log10p(op.EventRate)
+	f[FeatInputRate] = log10p(inRate)
+
+	// operator category
+	switch op.Type {
+	case queryplan.OpSource:
+		f[FeatOpTypeSource] = 1
+	case queryplan.OpFilter:
+		f[FeatOpTypeFilter] = 1
+	case queryplan.OpAggregate:
+		f[FeatOpTypeAgg] = 1
+	case queryplan.OpJoin:
+		f[FeatOpTypeJoin] = 1
+	case queryplan.OpSink:
+		f[FeatOpTypeSink] = 1
+	}
+	switch op.FilterFunc {
+	case queryplan.CmpLT:
+		f[FeatCmpLT] = 1
+	case queryplan.CmpLE:
+		f[FeatCmpLE] = 1
+	case queryplan.CmpGT:
+		f[FeatCmpGT] = 1
+	case queryplan.CmpGE:
+		f[FeatCmpGE] = 1
+	case queryplan.CmpEQ:
+		f[FeatCmpEQ] = 1
+	case queryplan.CmpNE:
+		f[FeatCmpNE] = 1
+	}
+	switch op.FilterLiteralClass {
+	case queryplan.TypeInt:
+		f[FeatLitInt] = 1
+	case queryplan.TypeDouble:
+		f[FeatLitDouble] = 1
+	case queryplan.TypeString:
+		f[FeatLitString] = 1
+	}
+	switch op.WindowType {
+	case queryplan.WindowTumbling:
+		f[FeatWinTumbling] = 1
+	case queryplan.WindowSliding:
+		f[FeatWinSliding] = 1
+	}
+	switch op.WindowPolicy {
+	case queryplan.PolicyCount:
+		f[FeatPolicyCount] = 1
+	case queryplan.PolicyTime:
+		f[FeatPolicyTime] = 1
+	}
+	f[FeatWindowLength] = log10p(op.WindowLength)
+	f[FeatSlidingLength] = log10p(op.SlidingLength)
+	switch op.JoinKeyClass {
+	case queryplan.TypeInt:
+		f[FeatJoinKeyInt] = 1
+	case queryplan.TypeDouble:
+		f[FeatJoinKeyDouble] = 1
+	case queryplan.TypeString:
+		f[FeatJoinKeyString] = 1
+	}
+	switch op.AggClass {
+	case queryplan.TypeInt:
+		f[FeatAggClassInt] = 1
+	case queryplan.TypeDouble:
+		f[FeatAggClassDouble] = 1
+	case queryplan.TypeString:
+		f[FeatAggClassString] = 1
+	}
+	switch op.AggFunc {
+	case queryplan.AggMin:
+		f[FeatAggMin] = 1
+	case queryplan.AggMax:
+		f[FeatAggMax] = 1
+	case queryplan.AggAvg:
+		f[FeatAggAvg] = 1
+	case queryplan.AggSum:
+		f[FeatAggSum] = 1
+	case queryplan.AggCount:
+		f[FeatAggCount] = 1
+	}
+	switch op.AggKeyClass {
+	case queryplan.TypeInt:
+		f[FeatAggKeyInt] = 1
+	case queryplan.TypeDouble:
+		f[FeatAggKeyDouble] = 1
+	case queryplan.TypeString:
+		f[FeatAggKeyString] = 1
+	}
+
+	applyMask(f, mask)
+	return f
+}
+
+// applyMask blanks the feature categories hidden by the mask.
+func applyMask(f tensor.Vector, mask Mask) {
+	switch mask {
+	case MaskOperatorOnly:
+		for _, i := range parallelismFeatures {
+			f[i] = 0
+		}
+	case MaskParallelismResource:
+		for _, i := range operatorDataFeatures {
+			f[i] = 0
+		}
+	}
+}
+
+// encodeResource builds one resource node's feature vector.
+func encodeResource(n *cluster.Node, linkGbps float64, slots int, mask Mask) tensor.Vector {
+	f := tensor.NewVector(ResFeatDim)
+	if mask == MaskOperatorOnly {
+		// Resource features are part of the blanked categories.
+		return f
+	}
+	f[ResFeatCores] = log2p(float64(n.Type.Cores))
+	f[ResFeatFreq] = n.Type.FreqGHz
+	f[ResFeatMem] = log2p(float64(n.Type.MemGB))
+	f[ResFeatLink] = log2p(linkGbps)
+	f[ResFeatSlots] = log2p(float64(slots) + 1)
+	// Oversubscription ratio: the contention a slot experiences. The cores
+	// and slots features alone cannot identify it when the training
+	// hardware grid has near-constant core counts (Table III trains on
+	// 8–10-core machines only), so it is encoded explicitly — the model
+	// must extrapolate it to 20–64-core unseen machines.
+	if n.Type.Cores > 0 {
+		f[ResFeatOversub] = log2p(math.Max(1, float64(slots)/float64(n.Type.Cores)))
+	}
+	return f
+}
+
+// dominantPartitioning mirrors the simulator's view: the "heaviest"
+// partitioning strategy among the operator's input edges (hash > rebalance
+// > forward); sources report rebalance (their stream splits evenly).
+func dominantPartitioning(q *queryplan.Query, id int) queryplan.PartitionStrategy {
+	op := q.Op(id)
+	if op != nil && op.Type == queryplan.OpSource {
+		return queryplan.PartRebalance
+	}
+	best := queryplan.PartForward
+	for _, e := range q.InEdges(id) {
+		if e.Partitioning > best {
+			best = e.Partitioning
+		}
+	}
+	return best
+}
+
+// estimateInputRates propagates *estimated* input rates through the logical
+// plan using the declared selectivities and window specifications (the
+// paper's Defs. 3–6). This is a transferable feature: it derives from
+// stream statistics, not from observing the deployment. Join output applies
+// Def. 5's amplification (each tuple matches sel·|W_opposite| buffered
+// tuples) and window aggregates apply their emission frequency — without
+// this, the model cannot see that a join's downstream operators face a much
+// higher rate than the sources emit.
+func estimateInputRates(q *queryplan.Query, order []int) map[int]float64 {
+	out := make(map[int]float64, len(order))
+	outRate := make(map[int]float64, len(order))
+	for _, id := range order {
+		op := q.Op(id)
+		ups := q.Upstream(id)
+		in := 0.0
+		for _, up := range ups {
+			in += outRate[up]
+		}
+		switch op.Type {
+		case queryplan.OpSource:
+			in = op.EventRate
+			outRate[id] = op.EventRate
+		case queryplan.OpAggregate:
+			horizon, wps := estWindowHorizon(op, in)
+			windowTuples := in * horizon
+			groups := math.Max(1, math.Min(op.Selectivity*windowTuples, windowTuples))
+			outRate[id] = wps * groups
+		case queryplan.OpJoin:
+			if len(ups) == 2 {
+				in1 := math.Max(outRate[ups[0]], 1e-9)
+				in2 := math.Max(outRate[ups[1]], 1e-9)
+				horizon, _ := estWindowHorizon(op, in)
+				outRate[id] = op.Selectivity * (in1*in2*horizon + in2*in1*horizon)
+			} else {
+				outRate[id] = in * op.Selectivity
+			}
+		default:
+			outRate[id] = in * op.Selectivity
+		}
+		out[id] = in
+	}
+	return out
+}
+
+// estWindowHorizon mirrors the analytical estimator: window coverage in
+// seconds and emissions per second from the declared window spec.
+func estWindowHorizon(op *queryplan.Operator, inRate float64) (horizonSec, windowsPerSec float64) {
+	if inRate < 1e-9 {
+		inRate = 1e-9
+	}
+	length := op.WindowLength
+	slide := op.SlidingLength
+	if op.WindowType != queryplan.WindowSliding || slide <= 0 {
+		slide = length
+	}
+	switch op.WindowPolicy {
+	case queryplan.PolicyTime:
+		return length / 1000, 1000 / slide
+	case queryplan.PolicyCount:
+		return length / inRate, inRate / slide
+	default:
+		return 0, 0
+	}
+}

@@ -1,0 +1,255 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+)
+
+func encoded(t *testing.T, degrees map[int]int) (*Graph, *queryplan.PQP) {
+	t.Helper()
+	q := queryplan.Linear(
+		queryplan.SourceSpec{EventRate: 10_000, TupleWidth: 3, DataType: queryplan.TypeDouble},
+		queryplan.FilterSpec{Func: queryplan.CmpLE, LiteralClass: queryplan.TypeDouble, Selectivity: 0.5},
+		queryplan.AggSpec{Func: queryplan.AggAvg, Class: queryplan.TypeDouble, KeyClass: queryplan.TypeInt,
+			Selectivity: 0.2,
+			Window:      queryplan.WindowSpec{Type: queryplan.WindowSliding, Policy: queryplan.PolicyTime, Length: 2000, Slide: 1000}},
+	)
+	p := queryplan.NewPQP(q)
+	for id, d := range degrees {
+		p.SetDegree(id, d)
+	}
+	c, err := cluster.New(3, cluster.SeenTypes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Place(p, c); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Encode(p, c, MaskAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, p
+}
+
+func TestEncodeShapes(t *testing.T) {
+	g, _ := encoded(t, map[int]int{1: 4, 2: 2})
+	if len(g.OpNodes) != 4 {
+		t.Fatalf("%d op nodes", len(g.OpNodes))
+	}
+	if len(g.DataEdges) != 3 {
+		t.Fatalf("%d data edges", len(g.DataEdges))
+	}
+	if len(g.ResNodes) == 0 || len(g.ResNodes) > 3 {
+		t.Fatalf("%d resource nodes", len(g.ResNodes))
+	}
+	if len(g.Mapping) == 0 {
+		t.Fatal("no mapping edges")
+	}
+	for _, n := range g.OpNodes {
+		if len(n.Feat) != OpFeatDim {
+			t.Fatalf("op feature width %d, want %d", len(n.Feat), OpFeatDim)
+		}
+		if n.Feat.HasNaN() {
+			t.Fatalf("NaN in op features: %v", n.Feat)
+		}
+	}
+	for _, n := range g.ResNodes {
+		if len(n.Feat) != ResFeatDim {
+			t.Fatalf("res feature width %d, want %d", len(n.Feat), ResFeatDim)
+		}
+	}
+	if g.OpNodes[g.SinkIdx].Type != queryplan.OpSink {
+		t.Fatal("SinkIdx does not point at the sink")
+	}
+}
+
+func TestEncodeDegreesAndGrouping(t *testing.T) {
+	g, p := encoded(t, map[int]int{1: 8})
+	var filterNode *OpNode
+	for i := range g.OpNodes {
+		if g.OpNodes[i].Type == queryplan.OpFilter {
+			filterNode = &g.OpNodes[i]
+		}
+	}
+	if filterNode == nil {
+		t.Fatal("no filter node")
+	}
+	if got := filterNode.Feat[FeatDegree]; math.Abs(got-3) > 1e-9 { // log2(8)
+		t.Fatalf("degree feature %v, want 3", got)
+	}
+	_ = p
+}
+
+func TestEncodeOneHots(t *testing.T) {
+	g, _ := encoded(t, nil)
+	for _, n := range g.OpNodes {
+		// Exactly one op-type flag set.
+		sum := n.Feat[FeatOpTypeSource] + n.Feat[FeatOpTypeFilter] + n.Feat[FeatOpTypeAgg] +
+			n.Feat[FeatOpTypeJoin] + n.Feat[FeatOpTypeSink]
+		if sum != 1 {
+			t.Fatalf("op-type one-hot sum %v for %v", sum, n.Type)
+		}
+		// Exactly one partitioning flag set.
+		psum := n.Feat[FeatPartForward] + n.Feat[FeatPartRebalance] + n.Feat[FeatPartHash]
+		if psum != 1 {
+			t.Fatalf("partitioning one-hot sum %v", psum)
+		}
+	}
+	// Aggregate node carries window features.
+	for _, n := range g.OpNodes {
+		if n.Type == queryplan.OpAggregate {
+			if n.Feat[FeatWinSliding] != 1 || n.Feat[FeatPolicyTime] != 1 {
+				t.Fatal("window one-hots wrong on aggregate")
+			}
+			if n.Feat[FeatWindowLength] == 0 || n.Feat[FeatSlidingLength] == 0 {
+				t.Fatal("window lengths not encoded")
+			}
+			if n.Feat[FeatAggAvg] != 1 || n.Feat[FeatAggKeyInt] != 1 {
+				t.Fatal("aggregation one-hots wrong")
+			}
+		}
+		if n.Type == queryplan.OpFilter {
+			if n.Feat[FeatCmpLE] != 1 || n.Feat[FeatLitDouble] != 1 {
+				t.Fatal("filter one-hots wrong")
+			}
+		}
+		if n.Type == queryplan.OpSource {
+			if n.Feat[FeatEventRate] == 0 {
+				t.Fatal("source event rate not encoded")
+			}
+		}
+	}
+}
+
+func TestEncodeInputRateEstimation(t *testing.T) {
+	g, _ := encoded(t, nil)
+	// Filter input rate should be the source rate (10k → log10(10001)≈4).
+	for _, n := range g.OpNodes {
+		if n.Type == queryplan.OpFilter {
+			if math.Abs(n.Feat[FeatInputRate]-4) > 0.01 {
+				t.Fatalf("filter input-rate feature %v, want ≈4", n.Feat[FeatInputRate])
+			}
+		}
+		// Aggregate gets the filtered rate: 5000 → ≈3.7.
+		if n.Type == queryplan.OpAggregate {
+			if math.Abs(n.Feat[FeatInputRate]-math.Log10(5001)) > 0.01 {
+				t.Fatalf("agg input-rate feature %v", n.Feat[FeatInputRate])
+			}
+		}
+	}
+}
+
+func TestEncodeRequiresPlacement(t *testing.T) {
+	q := queryplan.SpikeDetection(1000)
+	p := queryplan.NewPQP(q)
+	c, _ := cluster.New(2, cluster.SeenTypes(), 10)
+	if _, err := Encode(p, c, MaskAll); err == nil {
+		t.Fatal("encoded plan without placement")
+	}
+}
+
+func TestEncodeRejectsUnknownNode(t *testing.T) {
+	q := queryplan.SpikeDetection(1000)
+	p := queryplan.NewPQP(q)
+	c, _ := cluster.New(2, cluster.SeenTypes(), 10)
+	if err := cluster.Place(p, c); err != nil {
+		t.Fatal(err)
+	}
+	p.Placement[0][0] = "ghost-node"
+	if _, err := Encode(p, c, MaskAll); err == nil {
+		t.Fatal("accepted placement on unknown node")
+	}
+}
+
+func TestMaskOperatorOnlyBlanksParallelism(t *testing.T) {
+	q := queryplan.SpikeDetection(1000)
+	p := queryplan.NewPQP(q)
+	p.SetDegree(1, 8)
+	c, _ := cluster.New(2, cluster.SeenTypes(), 10)
+	if err := cluster.Place(p, c); err != nil {
+		t.Fatal(err)
+	}
+	g, err := Encode(p, c, MaskOperatorOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range g.OpNodes {
+		for _, i := range parallelismFeatures {
+			if n.Feat[i] != 0 {
+				t.Fatalf("parallelism feature %d not blanked: %v", i, n.Feat[i])
+			}
+		}
+	}
+	for _, n := range g.ResNodes {
+		if n.Feat.Sum() != 0 {
+			t.Fatal("resource features not blanked under operator-only mask")
+		}
+	}
+}
+
+func TestMaskParallelismResourceBlanksOperator(t *testing.T) {
+	g, _ := func() (*Graph, error) {
+		q := queryplan.SpikeDetection(1000)
+		p := queryplan.NewPQP(q)
+		c, _ := cluster.New(2, cluster.SeenTypes(), 10)
+		if err := cluster.Place(p, c); err != nil {
+			return nil, err
+		}
+		return Encode(p, c, MaskParallelismResource)
+	}()
+	for _, n := range g.OpNodes {
+		if n.Feat[FeatSelectivity] != 0 || n.Feat[FeatEventRate] != 0 || n.Feat[FeatWindowLength] != 0 {
+			t.Fatal("operator/data features not blanked")
+		}
+		// Parallelism block must survive.
+		psum := n.Feat[FeatPartForward] + n.Feat[FeatPartRebalance] + n.Feat[FeatPartHash]
+		if psum != 1 {
+			t.Fatal("parallelism features blanked by mistake")
+		}
+	}
+}
+
+func TestMaskStringer(t *testing.T) {
+	if MaskAll.String() != "all" || MaskOperatorOnly.String() != "operator-only" ||
+		MaskParallelismResource.String() != "parallelism+resource" {
+		t.Fatal("mask stringer")
+	}
+	_ = Mask(9).String()
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	a, _ := encoded(t, map[int]int{1: 4})
+	b, _ := encoded(t, map[int]int{1: 4})
+	if len(a.Mapping) != len(b.Mapping) {
+		t.Fatal("mapping edge count differs")
+	}
+	for i := range a.Mapping {
+		if a.Mapping[i] != b.Mapping[i] {
+			t.Fatal("mapping edges not deterministic")
+		}
+	}
+	for i := range a.OpNodes {
+		for j := range a.OpNodes[i].Feat {
+			if a.OpNodes[i].Feat[j] != b.OpNodes[i].Feat[j] {
+				t.Fatal("features not deterministic")
+			}
+		}
+	}
+}
+
+func TestMappingEdgesCoverAllInstances(t *testing.T) {
+	g, p := encoded(t, map[int]int{1: 5, 2: 3})
+	instances := make(map[int]int)
+	for _, m := range g.Mapping {
+		instances[g.OpNodes[m.OpIdx].OpID] += m.Instances
+	}
+	for _, o := range p.Query.Ops {
+		if instances[o.ID] != p.Degree(o.ID) {
+			t.Fatalf("op %d mapping covers %d instances, degree %d", o.ID, instances[o.ID], p.Degree(o.ID))
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package features_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/features"
+	"zerotune/internal/optisample"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/workload"
+)
+
+// Property tests over the full workload space: every valid plan must encode
+// into a well-formed graph.
+
+func randomItem(t *testing.T, seed uint64) (*queryplan.PQP, *cluster.Cluster) {
+	t.Helper()
+	gen := &workload.Generator{
+		Ranges:    workload.SeenRanges(),
+		Strategy:  &optisample.Random{MaxDegree: 24},
+		Seed:      seed,
+		NodeTypes: cluster.Catalog(),
+	}
+	structures := append(append([]string{}, workload.SeenRanges().Structures...),
+		workload.UnseenRanges().Structures...)
+	items, err := gen.Generate(structures, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return items[0].Plan, items[0].Cluster
+}
+
+func TestPropertyEncodeWellFormed(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, c := randomItem(t, seed)
+		g, err := features.Encode(p, c, features.MaskAll)
+		if err != nil {
+			return false
+		}
+		// One op node per operator; sink index valid; features finite and
+		// correctly sized.
+		if len(g.OpNodes) != len(p.Query.Ops) {
+			return false
+		}
+		if g.SinkIdx < 0 || g.SinkIdx >= len(g.OpNodes) {
+			return false
+		}
+		if g.OpNodes[g.SinkIdx].Type != queryplan.OpSink {
+			return false
+		}
+		for _, n := range g.OpNodes {
+			if len(n.Feat) != features.OpFeatDim || n.Feat.HasNaN() {
+				return false
+			}
+		}
+		for _, n := range g.ResNodes {
+			if len(n.Feat) != features.ResFeatDim || n.Feat.HasNaN() {
+				return false
+			}
+		}
+		// Data edges reference valid nodes and match the query edge count.
+		if len(g.DataEdges) != len(p.Query.Edges) {
+			return false
+		}
+		for _, e := range g.DataEdges {
+			if e[0] < 0 || e[0] >= len(g.OpNodes) || e[1] < 0 || e[1] >= len(g.OpNodes) {
+				return false
+			}
+		}
+		// Mapping edges cover every instance exactly once.
+		covered := make(map[int]int)
+		for _, m := range g.Mapping {
+			if m.ResIdx < 0 || m.ResIdx >= len(g.ResNodes) || m.Instances < 1 {
+				return false
+			}
+			covered[g.OpNodes[m.OpIdx].OpID] += m.Instances
+		}
+		for _, o := range p.Query.Ops {
+			if covered[o.ID] != p.Degree(o.ID) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Topological invariant: data edges always point from an earlier op node to
+// a later one (OpNodes are built in topological order).
+func TestPropertyEdgesTopological(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, c := randomItem(t, seed)
+		g, err := features.Encode(p, c, features.MaskAll)
+		if err != nil {
+			return false
+		}
+		for _, e := range g.DataEdges {
+			if e[0] >= e[1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Mask invariance: masking never changes the graph structure, only blanks
+// feature values.
+func TestPropertyMaskPreservesStructure(t *testing.T) {
+	f := func(seed uint64) bool {
+		p, c := randomItem(t, seed)
+		full, err := features.Encode(p, c, features.MaskAll)
+		if err != nil {
+			return false
+		}
+		for _, mask := range []features.Mask{features.MaskOperatorOnly, features.MaskParallelismResource} {
+			g, err := features.Encode(p, c, mask)
+			if err != nil {
+				return false
+			}
+			if len(g.OpNodes) != len(full.OpNodes) || len(g.ResNodes) != len(full.ResNodes) ||
+				len(g.DataEdges) != len(full.DataEdges) || len(g.Mapping) != len(full.Mapping) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,137 @@
+// Package flatvec implements the non-transferable baseline representations
+// the paper compares ZeroTune against (Sec. V, "Baselines"): a fixed-length
+// flat feature vector in the spirit of Ganapathi et al., fed into
+// (1) a ridge linear regression and (2) a deep MLP. The vector aggregates
+// plan-level statistics (operator counts, average selectivity, parallelism
+// statistics — "our addition" per the paper) and therefore discards the
+// graph structure ZeroTune learns from.
+package flatvec
+
+import (
+	"math"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+// Flat vector layout.
+const (
+	fvNumOps = iota
+	fvNumEdges
+	fvNumSources
+	fvNumFilters
+	fvNumAggs
+	fvNumJoins
+	fvAvgSelectivity
+	fvMinSelectivity
+	fvTotalEventRate // log10
+	fvAvgTupleWidth
+	fvAvgParallelism // log2
+	fvMaxParallelism // log2
+	fvTotalInstances // log2
+	fvNumForward
+	fvNumRebalance
+	fvNumHash
+	fvNumTimeWindows
+	fvNumCountWindows
+	fvNumSliding
+	fvAvgWindowLength // log10
+	fvNumWorkers
+	fvTotalCores // log2
+	fvAvgFreq
+	fvLinkSpeed // log2
+
+	// Dim is the width of the flat feature vector.
+	Dim
+)
+
+// FromPlan builds the flat feature vector of a parallel query plan on a
+// cluster.
+func FromPlan(p *queryplan.PQP, c *cluster.Cluster) tensor.Vector {
+	f := tensor.NewVector(Dim)
+	q := p.Query
+	f[fvNumOps] = float64(len(q.Ops))
+	f[fvNumEdges] = float64(len(q.Edges))
+
+	var selSum, selMin, rateSum, widthSum, winLenSum float64
+	selMin = math.Inf(1)
+	selCount, winCount := 0, 0
+	for _, o := range q.Ops {
+		switch o.Type {
+		case queryplan.OpSource:
+			f[fvNumSources]++
+			rateSum += o.EventRate
+		case queryplan.OpFilter:
+			f[fvNumFilters]++
+		case queryplan.OpAggregate:
+			f[fvNumAggs]++
+		case queryplan.OpJoin:
+			f[fvNumJoins]++
+		}
+		if o.Type == queryplan.OpFilter || o.Type == queryplan.OpAggregate || o.Type == queryplan.OpJoin {
+			selSum += o.Selectivity
+			if o.Selectivity < selMin {
+				selMin = o.Selectivity
+			}
+			selCount++
+		}
+		widthSum += float64(o.TupleWidthIn)
+		if o.IsWindowed() {
+			winLenSum += o.WindowLength
+			winCount++
+			if o.WindowPolicy == queryplan.PolicyTime {
+				f[fvNumTimeWindows]++
+			} else {
+				f[fvNumCountWindows]++
+			}
+			if o.WindowType == queryplan.WindowSliding {
+				f[fvNumSliding]++
+			}
+		}
+	}
+	if selCount > 0 {
+		f[fvAvgSelectivity] = selSum / float64(selCount)
+		f[fvMinSelectivity] = selMin
+	}
+	f[fvTotalEventRate] = math.Log10(rateSum + 1)
+	f[fvAvgTupleWidth] = widthSum / float64(len(q.Ops))
+	if winCount > 0 {
+		f[fvAvgWindowLength] = math.Log10(winLenSum/float64(winCount) + 1)
+	}
+
+	total, maxDeg := 0, 0
+	for _, o := range q.Ops {
+		d := p.Degree(o.ID)
+		total += d
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	f[fvAvgParallelism] = math.Log2(float64(total)/float64(len(q.Ops)) + 1)
+	f[fvMaxParallelism] = math.Log2(float64(maxDeg) + 1)
+	f[fvTotalInstances] = math.Log2(float64(total) + 1)
+
+	for _, e := range q.Edges {
+		switch e.Partitioning {
+		case queryplan.PartForward:
+			f[fvNumForward]++
+		case queryplan.PartRebalance:
+			f[fvNumRebalance]++
+		case queryplan.PartHash:
+			f[fvNumHash]++
+		}
+	}
+
+	f[fvNumWorkers] = float64(len(c.Nodes))
+	f[fvTotalCores] = math.Log2(float64(c.TotalCores()) + 1)
+	var freqSum float64
+	for _, n := range c.Nodes {
+		freqSum += n.Type.FreqGHz
+	}
+	if len(c.Nodes) > 0 {
+		f[fvAvgFreq] = freqSum / float64(len(c.Nodes))
+	}
+	f[fvLinkSpeed] = math.Log2(c.LinkGbps + 1)
+	return f
+}

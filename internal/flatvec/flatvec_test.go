@@ -1,0 +1,159 @@
+package flatvec
+
+import (
+	"math"
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+func testPlan(degree int) (*queryplan.PQP, *cluster.Cluster) {
+	q := queryplan.Linear(
+		queryplan.SourceSpec{EventRate: 10_000, TupleWidth: 3, DataType: queryplan.TypeDouble},
+		queryplan.FilterSpec{Func: queryplan.CmpLE, LiteralClass: queryplan.TypeDouble, Selectivity: 0.5},
+		queryplan.AggSpec{Func: queryplan.AggAvg, Class: queryplan.TypeDouble, KeyClass: queryplan.TypeInt,
+			Selectivity: 0.2, Window: queryplan.WindowSpec{Type: queryplan.WindowTumbling, Policy: queryplan.PolicyCount, Length: 50}},
+	)
+	p := queryplan.NewPQP(q)
+	p.SetDegree(1, degree)
+	c, _ := cluster.New(2, cluster.SeenTypes(), 10)
+	return p, c
+}
+
+func TestFromPlanShape(t *testing.T) {
+	p, c := testPlan(4)
+	f := FromPlan(p, c)
+	if len(f) != Dim {
+		t.Fatalf("width %d, want %d", len(f), Dim)
+	}
+	if f.HasNaN() {
+		t.Fatalf("NaN in flat vector: %v", f)
+	}
+	if f[fvNumOps] != 4 || f[fvNumFilters] != 1 || f[fvNumAggs] != 1 || f[fvNumJoins] != 0 {
+		t.Fatalf("operator counts wrong: %v", f)
+	}
+	if f[fvNumWorkers] != 2 {
+		t.Fatalf("worker count %v", f[fvNumWorkers])
+	}
+}
+
+func TestFromPlanSensitivity(t *testing.T) {
+	p1, c := testPlan(1)
+	p8, _ := testPlan(8)
+	f1, f8 := FromPlan(p1, c), FromPlan(p8, c)
+	if f1[fvMaxParallelism] >= f8[fvMaxParallelism] {
+		t.Fatal("parallelism feature insensitive to degree")
+	}
+	// Selectivity aggregates.
+	if math.Abs(f1[fvAvgSelectivity]-0.35) > 1e-9 { // (0.5+0.2)/2
+		t.Fatalf("avg selectivity %v", f1[fvAvgSelectivity])
+	}
+	if f1[fvMinSelectivity] != 0.2 {
+		t.Fatalf("min selectivity %v", f1[fvMinSelectivity])
+	}
+}
+
+func TestLinearRegressionFitsLinearData(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	var X []tensor.Vector
+	var y []float64
+	for i := 0; i < 200; i++ {
+		x := tensor.NewVector(Dim)
+		for j := range x {
+			x[j] = rng.Range(-1, 1)
+		}
+		X = append(X, x)
+		y = append(y, 3*x[0]-2*x[5]+0.5)
+	}
+	lr := NewLinearRegression(1e-6)
+	if err := lr.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		pred := lr.Predict(X[i])
+		if math.Abs(pred-y[i]) > 1e-6 {
+			t.Fatalf("row %d: pred %v want %v", i, pred, y[i])
+		}
+	}
+}
+
+func TestLinearRegressionRejectsBadInput(t *testing.T) {
+	lr := NewLinearRegression(1)
+	if err := lr.Fit(nil, nil); err == nil {
+		t.Fatal("accepted empty fit")
+	}
+	if err := lr.Fit([]tensor.Vector{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("accepted mismatched lengths")
+	}
+}
+
+func TestLinearRegressionPredictPanicsUnfitted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLinearRegression(1).Predict(tensor.NewVector(Dim))
+}
+
+func TestSolveSingularRejected(t *testing.T) {
+	A := tensor.NewMatrix(2, 2) // all zeros: singular
+	if _, err := solve(A, tensor.Vector{1, 1}); err == nil {
+		t.Fatal("singular system accepted")
+	}
+}
+
+func TestSolveKnownSystem(t *testing.T) {
+	A := tensor.NewMatrixFrom([][]float64{{2, 1}, {1, 3}})
+	x, err := solve(A, tensor.Vector{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("solve: %v", x)
+	}
+}
+
+func TestMLPModelFits(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	var X []tensor.Vector
+	var yLat, yTpt []float64
+	for i := 0; i < 100; i++ {
+		x := tensor.NewVector(Dim)
+		for j := range x {
+			x[j] = rng.Range(0, 1)
+		}
+		X = append(X, x)
+		yLat = append(yLat, x[0]+x[1])
+		yTpt = append(yTpt, x[2]-x[3])
+	}
+	m := NewMLPModel(tensor.NewRNG(7), 32)
+	cfg := DefaultMLPTrainConfig()
+	cfg.Epochs = 150
+	if err := m.Fit(X, yLat, yTpt, cfg); err != nil {
+		t.Fatal(err)
+	}
+	var errSum float64
+	for i := 0; i < 50; i++ {
+		l, tp := m.Predict(X[i])
+		errSum += math.Abs(l-yLat[i]) + math.Abs(tp-yTpt[i])
+	}
+	if errSum/50 > 0.2 {
+		t.Fatalf("MLP failed to fit: mean abs err %v", errSum/50)
+	}
+}
+
+func TestMLPModelRejectsBadInput(t *testing.T) {
+	m := NewMLPModel(tensor.NewRNG(1), 8)
+	if err := m.Fit(nil, nil, nil, DefaultMLPTrainConfig()); err == nil {
+		t.Fatal("accepted empty fit")
+	}
+	bad := DefaultMLPTrainConfig()
+	bad.LR = 0
+	if err := m.Fit([]tensor.Vector{tensor.NewVector(Dim)}, []float64{1}, []float64{1}, bad); err == nil {
+		t.Fatal("accepted zero LR")
+	}
+}

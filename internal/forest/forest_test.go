@@ -1,0 +1,140 @@
+package forest
+
+import (
+	"math"
+	"testing"
+
+	"zerotune/internal/tensor"
+)
+
+func makeData(n int, seed uint64, fn func(tensor.Vector) float64) ([]tensor.Vector, []float64) {
+	rng := tensor.NewRNG(seed)
+	X := make([]tensor.Vector, n)
+	y := make([]float64, n)
+	for i := range X {
+		x := tensor.NewVector(5)
+		for j := range x {
+			x[j] = rng.Range(-2, 2)
+		}
+		X[i] = x
+		y[i] = fn(x)
+	}
+	return X, y
+}
+
+func TestForestFitsStepFunction(t *testing.T) {
+	fn := func(x tensor.Vector) float64 {
+		if x[0] > 0 {
+			return 10
+		}
+		return -10
+	}
+	X, y := makeData(400, 1, fn)
+	f, err := Fit(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := makeData(100, 2, fn)
+	var mae float64
+	for i := range Xt {
+		mae += math.Abs(f.Predict(Xt[i]) - yt[i])
+	}
+	mae /= float64(len(Xt))
+	if mae > 1.5 {
+		t.Fatalf("forest MAE %v on step function", mae)
+	}
+}
+
+func TestForestFitsAdditiveFunction(t *testing.T) {
+	fn := func(x tensor.Vector) float64 { return 2*x[0] + x[1]*x[1] }
+	X, y := makeData(600, 3, fn)
+	f, err := Fit(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	Xt, yt := makeData(100, 4, fn)
+	var mae float64
+	for i := range Xt {
+		mae += math.Abs(f.Predict(Xt[i]) - yt[i])
+	}
+	mae /= float64(len(Xt))
+	if mae > 1.2 {
+		t.Fatalf("forest MAE %v on additive function", mae)
+	}
+}
+
+func TestForestDeterministic(t *testing.T) {
+	X, y := makeData(100, 5, func(x tensor.Vector) float64 { return x[0] })
+	f1, _ := Fit(X, y, DefaultConfig())
+	f2, _ := Fit(X, y, DefaultConfig())
+	for i := 0; i < 20; i++ {
+		if f1.Predict(X[i]) != f2.Predict(X[i]) {
+			t.Fatal("forest not deterministic")
+		}
+	}
+}
+
+func TestForestRejectsBadInput(t *testing.T) {
+	if _, err := Fit(nil, nil, DefaultConfig()); err == nil {
+		t.Fatal("accepted empty data")
+	}
+	X, y := makeData(10, 6, func(x tensor.Vector) float64 { return 0 })
+	bad := DefaultConfig()
+	bad.Trees = 0
+	if _, err := Fit(X, y, bad); err == nil {
+		t.Fatal("accepted zero trees")
+	}
+	if _, err := Fit(X, y[:5], DefaultConfig()); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+}
+
+func TestForestPredictPanicsOnWidth(t *testing.T) {
+	X, y := makeData(50, 7, func(x tensor.Vector) float64 { return x[0] })
+	f, _ := Fit(X, y, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on width mismatch")
+		}
+	}()
+	f.Predict(tensor.NewVector(3))
+}
+
+func TestForestConstantTarget(t *testing.T) {
+	X, y := makeData(50, 8, func(x tensor.Vector) float64 { return 7 })
+	f, err := Fit(X, y, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Predict(X[0]); math.Abs(got-7) > 1e-9 {
+		t.Fatalf("constant target predicted as %v", got)
+	}
+}
+
+func TestForestStructure(t *testing.T) {
+	X, y := makeData(200, 9, func(x tensor.Vector) float64 { return x[0] + x[1] })
+	cfg := DefaultConfig()
+	cfg.Trees = 10
+	cfg.MaxDepth = 4
+	f, _ := Fit(X, y, cfg)
+	if f.NumTrees() != 10 {
+		t.Fatalf("trees %d", f.NumTrees())
+	}
+	if f.Depth() > 5 {
+		t.Fatalf("depth %d exceeds max", f.Depth())
+	}
+}
+
+func TestForestMinLeafRespected(t *testing.T) {
+	X, y := makeData(20, 10, func(x tensor.Vector) float64 { return x[0] })
+	cfg := DefaultConfig()
+	cfg.MinLeaf = 10
+	f, err := Fit(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 20 samples and MinLeaf 10, trees are almost stumps; depth small.
+	if f.Depth() > 2 {
+		t.Fatalf("depth %d with MinLeaf=10 on 20 samples", f.Depth())
+	}
+}

@@ -1,0 +1,93 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+
+	"zerotune/internal/features"
+	"zerotune/internal/nn"
+	"zerotune/internal/tensor"
+)
+
+// Support for additional cost metrics (paper Sec. III-A: "our model can be
+// fine-tuned for other cost metrics like resource usage ... by simply
+// replacing the final MLP node"): the trained graph encoder is frozen and a
+// fresh read-out head is fitted on a small labelled set for the new metric.
+
+// Embed runs the frozen graph passes and returns the pooled state
+// [sink ‖ mean of per-operator states] that read-out heads consume.
+func (m *Model) Embed(g *features.Graph) tensor.Vector {
+	_, tr := m.forward(g)
+	h := m.Cfg.Hidden
+	n := len(g.OpNodes)
+	mean := tensor.NewVector(h)
+	for i := 0; i < n; i++ {
+		mean.AxpyInPlace(1/float64(n), tr.combineMap[i].Output())
+	}
+	return tensor.Concat(tr.combineMap[g.SinkIdx].Output(), mean)
+}
+
+// MetricHead is a read-out for one additional cost metric, regressing
+// log10(metric) from the frozen graph embedding.
+type MetricHead struct {
+	Name string
+	Net  *nn.MLP
+}
+
+// FineTuneMetricHead fits a fresh head for a new metric on labelled graphs,
+// keeping every encoder weight frozen (only the new head trains). targets
+// are the metric values in natural units; they are regressed in log10
+// space with Huber loss.
+func FineTuneMetricHead(m *Model, name string, graphs []*features.Graph, targets []float64, cfg TrainConfig) (*MetricHead, error) {
+	if len(graphs) == 0 || len(graphs) != len(targets) {
+		return nil, fmt.Errorf("gnn: bad metric fine-tuning set (%d graphs, %d targets)", len(graphs), len(targets))
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		return nil, fmt.Errorf("gnn: invalid metric train config %+v", cfg)
+	}
+	// Precompute embeddings once: the encoder is frozen, so they never
+	// change during head training.
+	emb := make([]tensor.Vector, len(graphs))
+	for i, g := range graphs {
+		emb[i] = m.Embed(g)
+	}
+	rng := tensor.NewRNG(cfg.Seed ^ 0xC0FFEE)
+	head := nn.NewMLP(rng, []int{2 * m.Cfg.Hidden, m.Cfg.HeadHidden, 1}, nn.LeakyReLU, nn.Identity)
+	opt := nn.NewAdam(cfg.LR)
+	idx := make([]int, len(graphs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(idx)
+		for start := 0; start < len(idx); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			head.ZeroGrad()
+			for _, i := range idx[start:end] {
+				tr := head.Forward(emb[i])
+				_, grad := nn.Huber(tr.Output()[0], LogTarget(targets[i]), cfg.HuberDelta)
+				head.Backward(tr, tensor.Vector{grad})
+			}
+			params := head.Params()
+			scale := 1.0 / float64(end-start)
+			for _, p := range params {
+				for j := range p.Grad {
+					p.Grad[j] *= scale
+				}
+			}
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			opt.Step(params)
+		}
+	}
+	return &MetricHead{Name: name, Net: head}, nil
+}
+
+// Predict returns the metric estimate in natural units for one graph.
+func (h *MetricHead) Predict(m *Model, g *features.Graph) float64 {
+	return math.Pow(10, h.Net.Predict(m.Embed(g))[0])
+}

@@ -1,0 +1,470 @@
+// Package gnn implements the ZeroTune zero-shot cost model: a graph neural
+// network over the parallel graph representation of features.Graph.
+//
+// Architecture (paper Fig. 4):
+//
+//  1. Node-type encoder MLPs turn each operator's transferable features
+//     into a hidden state; a resource encoder does the same for machines.
+//  2. Bottom-up message passing along the data-flow edges updates operator
+//     hidden states from source to sink.
+//  3. Physical resource nodes exchange messages with each other, then the
+//     operator→resource mapping edges deliver hardware context — weighted
+//     by how many instances run where — into a per-operator state.
+//  4. Structured read-out: the latency head predicts a per-operator latency
+//     contribution and the model sums the contributions (Def. 1: end-to-end
+//     latency is the sum of operator, network and wait latencies along the
+//     pipeline) — this additive inductive bias is what lets the graph model
+//     extrapolate to unseen structures such as windowless filter chains
+//     whose latency sits orders of magnitude below any training query. The
+//     throughput head reads the sink's hidden state (which has aggregated
+//     the whole plan bottom-up) together with a mean pooling over all
+//     per-operator states. Both heads work in log10 space.
+//
+// Everything is trained jointly with Adam on a Huber loss in log space.
+package gnn
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"zerotune/internal/features"
+	"zerotune/internal/nn"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+// ReadoutMode selects how the per-operator states become cost predictions.
+type ReadoutMode int
+
+const (
+	// ReadoutStructured (default) sums per-operator latency contributions
+	// (Def. 1) and reads throughput from the sink state — the additive
+	// inductive bias that drives structural extrapolation.
+	ReadoutStructured ReadoutMode = iota
+	// ReadoutSink reads both metrics from the sink state plus a mean
+	// pooling, the read-out the paper's Fig. 4 describes. Kept as an
+	// ablation of the structured read-out design decision.
+	ReadoutSink
+)
+
+// String implements fmt.Stringer.
+func (r ReadoutMode) String() string {
+	switch r {
+	case ReadoutStructured:
+		return "structured"
+	case ReadoutSink:
+		return "sink"
+	default:
+		return fmt.Sprintf("readout(%d)", int(r))
+	}
+}
+
+// Config holds the model hyper-parameters.
+type Config struct {
+	Hidden     int // hidden state width
+	EncDepth   int // encoder MLP hidden layers
+	HeadHidden int // read-out head hidden width
+	Readout    ReadoutMode
+}
+
+// DefaultConfig returns the hyper-parameters used throughout the
+// experiments: small enough to train in minutes on a CPU, large enough to
+// fit the simulator's cost surface.
+func DefaultConfig() Config {
+	return Config{Hidden: 48, EncDepth: 1, HeadHidden: 48}
+}
+
+// opTypeOrder fixes the serialization order of the per-type encoders.
+var opTypeOrder = []queryplan.OpType{
+	queryplan.OpSource, queryplan.OpFilter, queryplan.OpAggregate,
+	queryplan.OpJoin, queryplan.OpSink,
+}
+
+// Model is the ZeroTune cost model.
+type Model struct {
+	Cfg Config
+
+	EncOp      map[queryplan.OpType]*nn.MLP // per-node-type feature encoders
+	EncRes     *nn.MLP                      // resource feature encoder
+	CombineOp  *nn.MLP                      // data-flow message combine: [own ‖ Σ upstream] → hidden
+	CombineRes *nn.MLP                      // resource exchange combine: [own ‖ mean others] → hidden
+	CombineMap *nn.MLP                      // mapping combine: [op state ‖ weighted resources] → hidden
+	LatHead    *nn.MLP                      // per-op hidden → log10(latency contribution, ms)
+	TptHead    *nn.MLP                      // [sink state ‖ mean op states] → log10(throughput, ev/s)
+}
+
+// New builds a model with freshly initialized weights.
+func New(rng *tensor.RNG, cfg Config) *Model {
+	if cfg.Hidden <= 0 {
+		cfg = DefaultConfig()
+	}
+	h := cfg.Hidden
+	encDims := func(in int) []int {
+		dims := []int{in}
+		for i := 0; i < cfg.EncDepth; i++ {
+			dims = append(dims, h)
+		}
+		dims = append(dims, h)
+		return dims
+	}
+	m := &Model{Cfg: cfg, EncOp: make(map[queryplan.OpType]*nn.MLP, len(opTypeOrder))}
+	for _, t := range opTypeOrder {
+		m.EncOp[t] = nn.NewMLP(rng, encDims(features.OpFeatDim), nn.LeakyReLU, nn.LeakyReLU)
+	}
+	m.EncRes = nn.NewMLP(rng, encDims(features.ResFeatDim), nn.LeakyReLU, nn.LeakyReLU)
+	m.CombineOp = nn.NewMLP(rng, []int{2 * h, h, h}, nn.LeakyReLU, nn.LeakyReLU)
+	m.CombineRes = nn.NewMLP(rng, []int{2 * h, h}, nn.LeakyReLU, nn.LeakyReLU)
+	m.CombineMap = nn.NewMLP(rng, []int{2 * h, h}, nn.LeakyReLU, nn.LeakyReLU)
+	latIn := h
+	if cfg.Readout == ReadoutSink {
+		latIn = 2 * h // [sink state ‖ mean op states]
+	}
+	m.LatHead = nn.NewMLP(rng, []int{latIn, cfg.HeadHidden, 1}, nn.LeakyReLU, nn.Identity)
+	m.TptHead = nn.NewMLP(rng, []int{2 * h, cfg.HeadHidden, 1}, nn.LeakyReLU, nn.Identity)
+	return m
+}
+
+// mlps returns all sub-networks in a stable order.
+func (m *Model) mlps() []*nn.MLP {
+	out := make([]*nn.MLP, 0, len(opTypeOrder)+6)
+	for _, t := range opTypeOrder {
+		out = append(out, m.EncOp[t])
+	}
+	return append(out, m.EncRes, m.CombineOp, m.CombineRes, m.CombineMap, m.LatHead, m.TptHead)
+}
+
+// Params returns every parameter/gradient pair for the optimizer.
+func (m *Model) Params() []nn.Param {
+	var ps []nn.Param
+	for _, mm := range m.mlps() {
+		ps = append(ps, mm.Params()...)
+	}
+	return ps
+}
+
+// ZeroGrad clears all gradient accumulators.
+func (m *Model) ZeroGrad() {
+	for _, mm := range m.mlps() {
+		mm.ZeroGrad()
+	}
+}
+
+// NumParams returns the total scalar parameter count.
+func (m *Model) NumParams() int {
+	n := 0
+	for _, mm := range m.mlps() {
+		n += mm.NumParams()
+	}
+	return n
+}
+
+// Prediction is the model output in natural units.
+type Prediction struct {
+	LatencyMs     float64
+	ThroughputEPS float64
+	// Log-space raw outputs (what the loss is computed on).
+	LogLatency    float64
+	LogThroughput float64
+}
+
+// trace captures one forward pass for backpropagation.
+type trace struct {
+	g *features.Graph
+
+	encOp     []*nn.Trace // per op node
+	combineOp []*nn.Trace // per op node
+	upstreams [][]int     // per op node: indices of upstream op nodes
+	hOp       []tensor.Vector
+
+	encRes     []*nn.Trace
+	combineRes []*nn.Trace
+	hRes       []tensor.Vector
+
+	combineMap []*nn.Trace // per op node
+	resMsg     []tensor.Vector
+	mapWeights [][]weightedRes // per op node
+
+	latTraces []*nn.Trace // structured mode: per-op latency contribution head
+	latW      []float64   // structured mode: ∂logLat/∂o_i (softmax of contributions)
+	latTrace  *nn.Trace   // sink mode: latency head on [sink ‖ mean op states]
+	tptTrace  *nn.Trace   // throughput head on [sink ‖ mean op states]
+}
+
+type weightedRes struct {
+	resIdx int
+	weight float64
+}
+
+// Forward runs the three-stage message passing and returns the prediction
+// with the trace needed for Backward.
+func (m *Model) forward(g *features.Graph) (*Prediction, *trace) {
+	h := m.Cfg.Hidden
+	n := len(g.OpNodes)
+	tr := &trace{
+		g:          g,
+		encOp:      make([]*nn.Trace, n),
+		combineOp:  make([]*nn.Trace, n),
+		upstreams:  make([][]int, n),
+		hOp:        make([]tensor.Vector, n),
+		combineMap: make([]*nn.Trace, n),
+		resMsg:     make([]tensor.Vector, n),
+		mapWeights: make([][]weightedRes, n),
+	}
+
+	// Upstream index lists from the data-flow edges.
+	for _, e := range g.DataEdges {
+		tr.upstreams[e[1]] = append(tr.upstreams[e[1]], e[0])
+	}
+
+	// Stage 1: data-flow pass. OpNodes are topologically ordered.
+	for i, node := range g.OpNodes {
+		enc := m.EncOp[node.Type]
+		if enc == nil {
+			panic(fmt.Sprintf("gnn: no encoder for node type %v", node.Type))
+		}
+		tr.encOp[i] = enc.Forward(node.Feat)
+		agg := tensor.NewVector(h)
+		for _, up := range tr.upstreams[i] {
+			agg.AddInPlace(tr.hOp[up])
+		}
+		tr.combineOp[i] = m.CombineOp.Forward(tensor.Concat(tr.encOp[i].Output(), agg))
+		tr.hOp[i] = tr.combineOp[i].Output()
+	}
+
+	// Stage 2: resource pass.
+	r := len(g.ResNodes)
+	tr.encRes = make([]*nn.Trace, r)
+	tr.combineRes = make([]*nn.Trace, r)
+	tr.hRes = make([]tensor.Vector, r)
+	encSum := tensor.NewVector(h)
+	for i, node := range g.ResNodes {
+		tr.encRes[i] = m.EncRes.Forward(node.Feat)
+		encSum.AddInPlace(tr.encRes[i].Output())
+	}
+	for i := range g.ResNodes {
+		others := tensor.NewVector(h)
+		if r > 1 {
+			others = encSum.Clone().SubInPlace(tr.encRes[i].Output()).ScaleInPlace(1 / float64(r-1))
+		}
+		tr.combineRes[i] = m.CombineRes.Forward(tensor.Concat(tr.encRes[i].Output(), others))
+		tr.hRes[i] = tr.combineRes[i].Output()
+	}
+
+	// Stage 3: mapping pass.
+	totalInstances := make([]float64, n)
+	for _, e := range g.Mapping {
+		totalInstances[e.OpIdx] += float64(e.Instances)
+	}
+	for i := range g.OpNodes {
+		msg := tensor.NewVector(h)
+		for _, e := range g.Mapping {
+			if e.OpIdx != i {
+				continue
+			}
+			w := float64(e.Instances)
+			if totalInstances[i] > 0 {
+				w /= totalInstances[i]
+			}
+			msg.AxpyInPlace(w, tr.hRes[e.ResIdx])
+			tr.mapWeights[i] = append(tr.mapWeights[i], weightedRes{resIdx: e.ResIdx, weight: w})
+		}
+		tr.resMsg[i] = msg
+		tr.combineMap[i] = m.CombineMap.Forward(tensor.Concat(tr.hOp[i], msg))
+	}
+
+	// Stage 4: read-out. Structured mode sums per-operator latency
+	// contributions (Def. 1); sink mode reads latency from the pooled sink
+	// state like the throughput head. Throughput always reads the sink
+	// state plus a mean pooling.
+	meanState := tensor.NewVector(h)
+	for i := range g.OpNodes {
+		meanState.AxpyInPlace(1/float64(n), tr.combineMap[i].Output())
+	}
+	pooled := tensor.Concat(tr.combineMap[g.SinkIdx].Output(), meanState)
+
+	var logLat float64
+	if m.Cfg.Readout == ReadoutSink {
+		tr.latTrace = m.LatHead.Forward(pooled)
+		logLat = tr.latTrace.Output()[0]
+	} else {
+		tr.latTraces = make([]*nn.Trace, n)
+		lat := make([]float64, n) // o_i = log10 of op i's latency contribution
+		for i := range g.OpNodes {
+			tr.latTraces[i] = m.LatHead.Forward(tr.combineMap[i].Output())
+			lat[i] = tr.latTraces[i].Output()[0]
+		}
+		var latW []float64
+		logLat, latW = logSumExp10(lat)
+		tr.latW = latW
+	}
+	tr.tptTrace = m.TptHead.Forward(pooled)
+	logTpt := tr.tptTrace.Output()[0]
+
+	return &Prediction{
+		LatencyMs:     math.Pow(10, logLat),
+		ThroughputEPS: math.Pow(10, logTpt),
+		LogLatency:    logLat,
+		LogThroughput: logTpt,
+	}, tr
+}
+
+// logSumExp10 computes log10(Σ 10^{x_i}) stably and the softmax weights
+// w_i = 10^{x_i}/Σ 10^{x_j}, which are exactly the partial derivatives of
+// the result with respect to x_i.
+func logSumExp10(xs []float64) (float64, []float64) {
+	maxX := math.Inf(-1)
+	for _, x := range xs {
+		if x > maxX {
+			maxX = x
+		}
+	}
+	var sum float64
+	w := make([]float64, len(xs))
+	for i, x := range xs {
+		w[i] = math.Pow(10, x-maxX)
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return maxX + math.Log10(sum), w
+}
+
+// Predict returns the model's cost estimate for the encoded plan.
+func (m *Model) Predict(g *features.Graph) Prediction {
+	p, _ := m.forward(g)
+	return *p
+}
+
+// backward propagates dLogLat and dLogTpt (∂loss/∂head outputs) through the
+// whole graph pass, accumulating parameter gradients.
+func (m *Model) backward(tr *trace, dLogLat, dLogTpt float64) {
+	h := m.Cfg.Hidden
+	g := tr.g
+	n := len(g.OpNodes)
+
+	dHOp := make([]tensor.Vector, n)
+	for i := range dHOp {
+		dHOp[i] = tensor.NewVector(h)
+	}
+	dHRes := make([]tensor.Vector, len(g.ResNodes))
+	for i := range dHRes {
+		dHRes[i] = tensor.NewVector(h)
+	}
+
+	// Pooled-head backward: gradients split into the sink's state and the
+	// mean pooling over all per-operator states.
+	dTptIn := m.TptHead.Backward(tr.tptTrace, tensor.Vector{dLogTpt})
+	dSinkState := tensor.Vector(dTptIn[:h]).Clone()
+	dMeanState := tensor.Vector(dTptIn[h:]).Clone()
+	if m.Cfg.Readout == ReadoutSink {
+		dLatIn := m.LatHead.Backward(tr.latTrace, tensor.Vector{dLogLat})
+		dSinkState.AddInPlace(dLatIn[:h])
+		dMeanState.AddInPlace(dLatIn[h:])
+	}
+	dMeanState.ScaleInPlace(1 / float64(n))
+
+	for i := 0; i < n; i++ {
+		dState := dMeanState.Clone()
+		if m.Cfg.Readout != ReadoutSink {
+			// Structured latency read-out: ∂logLat/∂o_i are the cached
+			// softmax weights of the per-operator contributions.
+			dState.AddInPlace(m.LatHead.Backward(tr.latTraces[i], tensor.Vector{dLogLat * tr.latW[i]}))
+		}
+		if i == g.SinkIdx {
+			dState.AddInPlace(dSinkState)
+		}
+
+		// Mapping pass backward for operator i.
+		dIn := m.CombineMap.Backward(tr.combineMap[i], dState)
+		dHOp[i].AddInPlace(dIn[:h])
+		dMsg := tensor.Vector(dIn[h:])
+		for _, wr := range tr.mapWeights[i] {
+			dHRes[wr.resIdx].AxpyInPlace(wr.weight, dMsg)
+		}
+	}
+
+	// Resource pass backward.
+	r := len(g.ResNodes)
+	dEncRes := make([]tensor.Vector, r)
+	for i := range dEncRes {
+		dEncRes[i] = tensor.NewVector(h)
+	}
+	for i := 0; i < r; i++ {
+		dIn := m.CombineRes.Backward(tr.combineRes[i], dHRes[i])
+		dEncRes[i].AddInPlace(dIn[:h])
+		dOthers := tensor.Vector(dIn[h:])
+		if r > 1 {
+			scale := 1 / float64(r-1)
+			for j := 0; j < r; j++ {
+				if j != i {
+					dEncRes[j].AxpyInPlace(scale, dOthers)
+				}
+			}
+		}
+	}
+	for i := 0; i < r; i++ {
+		m.EncRes.Backward(tr.encRes[i], dEncRes[i])
+	}
+
+	// Data-flow pass backward, reverse topological order.
+	for i := n - 1; i >= 0; i-- {
+		dIn := m.CombineOp.Backward(tr.combineOp[i], dHOp[i])
+		dEnc := tensor.Vector(dIn[:h])
+		dAgg := tensor.Vector(dIn[h:])
+		for _, up := range tr.upstreams[i] {
+			dHOp[up].AddInPlace(dAgg)
+		}
+		m.EncOp[g.OpNodes[i].Type].Backward(tr.encOp[i], dEnc)
+	}
+}
+
+// modelJSON is the serialized form of a Model.
+type modelJSON struct {
+	Cfg        Config             `json:"cfg"`
+	EncOp      map[string]*nn.MLP `json:"enc_op"`
+	EncRes     *nn.MLP            `json:"enc_res"`
+	CombineOp  *nn.MLP            `json:"combine_op"`
+	CombineRes *nn.MLP            `json:"combine_res"`
+	CombineMap *nn.MLP            `json:"combine_map"`
+	LatHead    *nn.MLP            `json:"lat_head"`
+	TptHead    *nn.MLP            `json:"tpt_head"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	enc := make(map[string]*nn.MLP, len(m.EncOp))
+	for t, mm := range m.EncOp {
+		enc[t.String()] = mm
+	}
+	return json.Marshal(modelJSON{
+		Cfg: m.Cfg, EncOp: enc, EncRes: m.EncRes,
+		CombineOp: m.CombineOp, CombineRes: m.CombineRes, CombineMap: m.CombineMap,
+		LatHead: m.LatHead, TptHead: m.TptHead,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var in modelJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	m.Cfg = in.Cfg
+	m.EncOp = make(map[queryplan.OpType]*nn.MLP, len(opTypeOrder))
+	for _, t := range opTypeOrder {
+		mm, ok := in.EncOp[t.String()]
+		if !ok {
+			return fmt.Errorf("gnn: serialized model missing encoder for %v", t)
+		}
+		m.EncOp[t] = mm
+	}
+	if in.EncRes == nil || in.CombineOp == nil || in.CombineRes == nil ||
+		in.CombineMap == nil || in.LatHead == nil || in.TptHead == nil {
+		return fmt.Errorf("gnn: serialized model missing sub-networks")
+	}
+	m.EncRes, m.CombineOp, m.CombineRes = in.EncRes, in.CombineOp, in.CombineRes
+	m.CombineMap, m.LatHead, m.TptHead = in.CombineMap, in.LatHead, in.TptHead
+	return nil
+}

@@ -1,0 +1,186 @@
+package gnn
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"zerotune/internal/features"
+	"zerotune/internal/nn"
+	"zerotune/internal/tensor"
+)
+
+// TrainConfig holds the optimization hyper-parameters.
+type TrainConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	WeightDecay float64
+	ClipNorm    float64 // global gradient-norm clip; 0 disables
+	HuberDelta  float64 // log-space Huber threshold
+	Seed        uint64
+	// Progress, when non-nil, receives (epoch, mean training loss) after
+	// every epoch.
+	Progress func(epoch int, loss float64)
+
+	// Val, when non-empty, enables early stopping: after every epoch the
+	// model is evaluated on these graphs, and training stops once the
+	// validation loss has not improved for Patience consecutive epochs.
+	// The best-validation weights are restored at the end.
+	Val []*features.Graph
+	// Patience is the early-stopping tolerance in epochs (0 = 8).
+	Patience int
+}
+
+// DefaultTrainConfig returns the settings used by the experiments.
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:      40,
+		BatchSize:   16,
+		LR:          3e-3,
+		WeightDecay: 1e-5,
+		ClipNorm:    5,
+		HuberDelta:  1.0,
+		Seed:        1,
+	}
+}
+
+// FewShotConfig returns the fine-tuning settings for few-shot learning
+// (Sec. V-A: 500 extra complex-join queries, short run, gentle LR).
+func FewShotConfig() TrainConfig {
+	cfg := DefaultTrainConfig()
+	cfg.Epochs = 25
+	cfg.LR = 8e-4
+	return cfg
+}
+
+// LogTarget maps a cost (latency ms or throughput ev/s) into the log space
+// the model regresses.
+func LogTarget(x float64) float64 { return math.Log10(x + 1e-3) }
+
+// TrainStats summarizes a training run.
+type TrainStats struct {
+	Epochs    int // epochs actually run (≤ configured with early stopping)
+	FinalLoss float64
+	Duration  time.Duration
+	// BestValLoss is the validation loss of the restored weights (0 when
+	// no validation set was given).
+	BestValLoss float64
+}
+
+// snapshotParams deep-copies the current parameter values.
+func snapshotParams(params []nn.Param) [][]float64 {
+	out := make([][]float64, len(params))
+	for i, p := range params {
+		out[i] = append([]float64(nil), p.Value...)
+	}
+	return out
+}
+
+// restoreParams writes a snapshot back into the parameters.
+func restoreParams(params []nn.Param, snap [][]float64) {
+	for i, p := range params {
+		copy(p.Value, snap[i])
+	}
+}
+
+// Train optimizes the model on the labelled graphs. Graphs must carry
+// LatencyMs and ThroughputEPS labels. Returns an error for empty input.
+func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, error) {
+	if len(graphs) == 0 {
+		return TrainStats{}, fmt.Errorf("gnn: no training graphs")
+	}
+	if cfg.Epochs <= 0 || cfg.BatchSize <= 0 || cfg.LR <= 0 {
+		return TrainStats{}, fmt.Errorf("gnn: invalid train config %+v", cfg)
+	}
+	start := time.Now()
+	rng := tensor.NewRNG(cfg.Seed)
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+
+	idx := make([]int, len(graphs))
+	for i := range idx {
+		idx[i] = i
+	}
+	patience := cfg.Patience
+	if patience <= 0 {
+		patience = 8
+	}
+	bestVal := math.Inf(1)
+	var bestSnap [][]float64
+	sinceBest := 0
+
+	var meanLoss float64
+	epochsRun := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochsRun = epoch + 1
+		rng.Shuffle(idx)
+		var epochLoss float64
+		for batchStart := 0; batchStart < len(idx); batchStart += cfg.BatchSize {
+			end := batchStart + cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			m.ZeroGrad()
+			for _, gi := range idx[batchStart:end] {
+				g := graphs[gi]
+				pred, tr := m.forward(g)
+				latLoss, latGrad := nn.Huber(pred.LogLatency, LogTarget(g.LatencyMs), cfg.HuberDelta)
+				tptLoss, tptGrad := nn.Huber(pred.LogThroughput, LogTarget(g.ThroughputEPS), cfg.HuberDelta)
+				epochLoss += latLoss + tptLoss
+				m.backward(tr, latGrad, tptGrad)
+			}
+			params := m.Params()
+			// Average gradients over the batch.
+			scale := 1.0 / float64(end-batchStart)
+			for _, p := range params {
+				for i := range p.Grad {
+					p.Grad[i] *= scale
+				}
+			}
+			if cfg.ClipNorm > 0 {
+				nn.ClipGradNorm(params, cfg.ClipNorm)
+			}
+			opt.Step(params)
+		}
+		meanLoss = epochLoss / float64(len(idx))
+		if cfg.Progress != nil {
+			cfg.Progress(epoch, meanLoss)
+		}
+		if len(cfg.Val) > 0 {
+			valLoss := EvalLoss(m, cfg.Val, cfg.HuberDelta)
+			if valLoss < bestVal {
+				bestVal = valLoss
+				bestSnap = snapshotParams(m.Params())
+				sinceBest = 0
+			} else {
+				sinceBest++
+				if sinceBest >= patience {
+					break // early stop: validation plateaued
+				}
+			}
+		}
+	}
+	stats := TrainStats{Epochs: epochsRun, FinalLoss: meanLoss, Duration: time.Since(start)}
+	if bestSnap != nil {
+		restoreParams(m.Params(), bestSnap)
+		stats.BestValLoss = bestVal
+	}
+	return stats, nil
+}
+
+// EvalLoss computes the mean log-space Huber loss on a labelled set without
+// updating the model.
+func EvalLoss(m *Model, graphs []*features.Graph, huberDelta float64) float64 {
+	if len(graphs) == 0 {
+		return 0
+	}
+	var total float64
+	for _, g := range graphs {
+		pred := m.Predict(g)
+		latLoss, _ := nn.Huber(pred.LogLatency, LogTarget(g.LatencyMs), huberDelta)
+		tptLoss, _ := nn.Huber(pred.LogThroughput, LogTarget(g.ThroughputEPS), huberDelta)
+		total += latLoss + tptLoss
+	}
+	return total / float64(len(graphs))
+}

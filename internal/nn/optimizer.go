@@ -1,0 +1,107 @@
+package nn
+
+import "math"
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update to every parameter using its gradient.
+	Step(params []Param)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	velocity [][]float64
+}
+
+// NewSGD returns an SGD optimizer with the given learning rate and momentum.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []Param) {
+	if s.velocity == nil {
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = make([]float64, len(p.Value))
+		}
+	}
+	for i, p := range params {
+		v := s.velocity[i]
+		for j := range p.Value {
+			v[j] = s.Momentum*v[j] - s.LR*p.Grad[j]
+			p.Value[j] += v[j]
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with decoupled weight decay
+// (AdamW-style: decay is applied directly to weights, not folded into the
+// gradient moments).
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64
+
+	t int
+	m [][]float64
+	v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with standard betas (0.9, 0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []Param) {
+	if a.m == nil {
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = make([]float64, len(p.Value))
+			a.v[i] = make([]float64, len(p.Value))
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.Value {
+			g := p.Grad[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mHat := m[j] / bc1
+			vHat := v[j] / bc2
+			p.Value[j] -= a.LR * (mHat/(math.Sqrt(vHat)+a.Eps) + a.WeightDecay*p.Value[j])
+		}
+	}
+}
+
+// ClipGradNorm rescales all gradients so the global L2 norm does not exceed
+// maxNorm, and returns the pre-clip norm. A non-positive maxNorm is a no-op.
+func ClipGradNorm(params []Param, maxNorm float64) float64 {
+	var sumSq float64
+	for _, p := range params {
+		for _, g := range p.Grad {
+			sumSq += g * g
+		}
+	}
+	norm := math.Sqrt(sumSq)
+	if maxNorm <= 0 || norm <= maxNorm || norm == 0 {
+		return norm
+	}
+	scale := maxNorm / norm
+	for _, p := range params {
+		for j := range p.Grad {
+			p.Grad[j] *= scale
+		}
+	}
+	return norm
+}

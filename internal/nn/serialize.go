@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"zerotune/internal/tensor"
+)
+
+// mlpJSON is the serialized form of an MLP.
+type mlpJSON struct {
+	Layers []layerJSON `json:"layers"`
+}
+
+type layerJSON struct {
+	In   int        `json:"in"`
+	Out  int        `json:"out"`
+	Act  Activation `json:"act"`
+	W    []float64  `json:"w"`
+	Bias []float64  `json:"b"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	out := mlpJSON{}
+	for _, l := range m.Layers {
+		out.Layers = append(out.Layers, layerJSON{
+			In:   l.In(),
+			Out:  l.Out(),
+			Act:  l.Act,
+			W:    l.W.Data,
+			Bias: l.B,
+		})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var in mlpJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if len(in.Layers) == 0 {
+		return fmt.Errorf("nn: serialized MLP has no layers")
+	}
+	m.Layers = nil
+	for i, lj := range in.Layers {
+		if len(lj.W) != lj.In*lj.Out {
+			return fmt.Errorf("nn: layer %d weight size %d, want %d", i, len(lj.W), lj.In*lj.Out)
+		}
+		if len(lj.Bias) != lj.Out {
+			return fmt.Errorf("nn: layer %d bias size %d, want %d", i, len(lj.Bias), lj.Out)
+		}
+		l := &Linear{
+			W:     &tensor.Matrix{Rows: lj.Out, Cols: lj.In, Data: lj.W},
+			B:     lj.Bias,
+			Act:   lj.Act,
+			GradW: tensor.NewMatrix(lj.Out, lj.In),
+			GradB: tensor.NewVector(lj.Out),
+		}
+		m.Layers = append(m.Layers, l)
+	}
+	// Validate the layers chain together.
+	for i := 1; i < len(m.Layers); i++ {
+		if m.Layers[i].In() != m.Layers[i-1].Out() {
+			return fmt.Errorf("nn: layer %d input %d does not match layer %d output %d",
+				i, m.Layers[i].In(), i-1, m.Layers[i-1].Out())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+)
+
+// Diagnosis is the per-operator health signal a runtime monitor exposes —
+// what Dhalion's symptom detectors consume.
+type Diagnosis struct {
+	// Utilization of the operator's hottest instance; values near or above
+	// 1 indicate backpressure.
+	Utilization float64
+}
+
+// RuntimeObserve deploys (simulates) a plan and returns measured costs plus
+// per-operator diagnoses.
+type RuntimeObserve func(p *queryplan.PQP, c *cluster.Cluster) (Estimate, map[int]Diagnosis, error)
+
+// DhalionOptions tunes the controller's policy thresholds.
+type DhalionOptions struct {
+	// HighUtil triggers scale-up (Dhalion's backpressure symptom).
+	HighUtil float64
+	// LowUtil triggers scale-down (over-provisioning symptom).
+	LowUtil float64
+	// TargetUtil is the utilization the resolver scales toward.
+	TargetUtil float64
+	// MaxRounds bounds the reconfiguration loop.
+	MaxRounds int
+}
+
+// DefaultDhalionOptions mirrors the published policy: scale up aggressively
+// on backpressure, scale down conservatively, converge within ten rounds.
+func DefaultDhalionOptions() DhalionOptions {
+	return DhalionOptions{HighUtil: 0.9, LowUtil: 0.25, TargetUtil: 0.7, MaxRounds: 10}
+}
+
+// DhalionResult reports the converged plan and the reconfiguration cost.
+type DhalionResult struct {
+	Plan     *queryplan.PQP
+	Estimate Estimate
+	Rounds   int // reconfigurations performed (each one redeploys the query)
+	// Trajectory holds the measured cost of every configuration the
+	// controller ran through, in order (the initial all-1 deployment first,
+	// the converged configuration last). Online tuning pays for these
+	// intermediate deployments — the oscillation cost of the paper's C1.
+	Trajectory []Estimate
+}
+
+// Dhalion is the self-regulating controller baseline [Floratou et al.]: it
+// starts at parallelism 1 everywhere and iteratively repairs symptoms —
+// scaling up operators whose instances are saturated and scaling down
+// heavily under-utilized ones — observing the runtime after every
+// reconfiguration, until the topology is healthy or the round budget is
+// exhausted. This is online scaling: good at removing backpressure on
+// simple structures, blind to global cost trade-offs on complex ones.
+func Dhalion(q *queryplan.Query, c *cluster.Cluster, observe RuntimeObserve, opts DhalionOptions) (*DhalionResult, error) {
+	if opts.MaxRounds < 1 {
+		return nil, fmt.Errorf("optimizer: dhalion needs at least one round")
+	}
+	if opts.TargetUtil <= 0 || opts.TargetUtil >= 1 {
+		return nil, fmt.Errorf("optimizer: dhalion target utilization %v outside (0,1)", opts.TargetUtil)
+	}
+	cur := queryplan.NewPQP(q)
+	if err := cluster.Place(cur, c); err != nil {
+		return nil, err
+	}
+	maxP := c.TotalCores()
+
+	var est Estimate
+	var trajectory []Estimate
+	rounds := 0
+	for ; rounds < opts.MaxRounds; rounds++ {
+		var diag map[int]Diagnosis
+		var err error
+		est, diag, err = observe(cur, c)
+		if err != nil {
+			return nil, err
+		}
+		trajectory = append(trajectory, est)
+		changed := false
+		next := cur.Clone()
+		for _, o := range q.Ops {
+			d, ok := diag[o.ID]
+			if !ok {
+				continue
+			}
+			degree := cur.Degree(o.ID)
+			switch {
+			case d.Utilization > opts.HighUtil:
+				// Resolver: scale so the observed load would sit at the
+				// target utilization.
+				want := int(math.Ceil(float64(degree) * d.Utilization / opts.TargetUtil))
+				if want <= degree {
+					want = degree + 1
+				}
+				if want > maxP {
+					want = maxP
+				}
+				if want != degree {
+					next.SetDegree(o.ID, want)
+					changed = true
+				}
+			case d.Utilization < opts.LowUtil && degree > 1:
+				want := int(math.Ceil(float64(degree) * math.Max(d.Utilization, 0.05) / opts.TargetUtil))
+				if want >= degree {
+					want = degree - 1
+				}
+				if want < 1 {
+					want = 1
+				}
+				if want != degree {
+					next.SetDegree(o.ID, want)
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break // topology healthy: converged
+		}
+		if err := cluster.Place(next, c); err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	// Final observation for the converged plan (when the loop ended on a
+	// reconfiguration).
+	finalEst, _, err := observe(cur, c)
+	if err != nil {
+		return nil, err
+	}
+	est = finalEst
+	if rounds == opts.MaxRounds || len(trajectory) == 0 ||
+		trajectory[len(trajectory)-1] != est {
+		trajectory = append(trajectory, est)
+	}
+	return &DhalionResult{Plan: cur, Estimate: est, Rounds: rounds, Trajectory: trajectory}, nil
+}

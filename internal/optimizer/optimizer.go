@@ -1,0 +1,209 @@
+// Package optimizer implements parallelism tuning (Sec. III-C3): given a
+// query and a cluster, enumerate candidate parallelism configurations,
+// predict their costs with a cost estimator (ZeroTune's GNN during normal
+// operation; any CostEstimator in tests), and pick the configuration
+// minimizing the Eq. 1 weighted cost. The package also provides the two
+// baseline tuners the paper compares against: a greedy hill-climber on
+// observed runtimes (Tang & Gedik) and a Dhalion-style backpressure
+// controller (Floratou et al.).
+package optimizer
+
+import (
+	"fmt"
+	"math"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/optisample"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+// Estimate is a cost prediction for one candidate plan.
+type Estimate struct {
+	LatencyMs     float64
+	ThroughputEPS float64
+}
+
+// CostEstimator predicts the cost of executing a placed parallel query plan
+// on a cluster — the what-if interface of Fig. 2.
+type CostEstimator interface {
+	Estimate(p *queryplan.PQP, c *cluster.Cluster) (Estimate, error)
+}
+
+// EstimatorFunc adapts a function to the CostEstimator interface.
+type EstimatorFunc func(p *queryplan.PQP, c *cluster.Cluster) (Estimate, error)
+
+// Estimate implements CostEstimator.
+func (f EstimatorFunc) Estimate(p *queryplan.PQP, c *cluster.Cluster) (Estimate, error) {
+	return f(p, c)
+}
+
+// WeightedCost is Eq. 1: wt·C_L + (1−wt)·C_T with both costs min-max
+// normalized into [0, 1] over the candidate set (0 best). Throughput is
+// negated inside the normalization because it is maximized.
+func WeightedCost(latency, throughput, latMin, latMax, tptMin, tptMax, wt float64) float64 {
+	cl := normalize(latency, latMin, latMax)
+	ct := 0.0
+	if tptMax > tptMin {
+		ct = 1 - normalize(throughput, tptMin, tptMax)
+	}
+	return wt*cl + (1-wt)*ct
+}
+
+func normalize(x, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	v := (x - lo) / (hi - lo)
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// TuneOptions configures the ZeroTune optimizer.
+type TuneOptions struct {
+	// Weight wt of Eq. 1: 1 = latency only, 0 = throughput only.
+	Weight float64
+	// RandomCandidates adds this many OptiSample-explored configurations to
+	// the deterministic candidate set.
+	RandomCandidates int
+	// Seed drives candidate exploration.
+	Seed uint64
+}
+
+// DefaultTuneOptions balances latency and throughput equally and explores a
+// moderate candidate set.
+func DefaultTuneOptions() TuneOptions {
+	return TuneOptions{Weight: 0.5, RandomCandidates: 16, Seed: 1}
+}
+
+// TuneResult reports the chosen plan and the what-if analysis behind it.
+type TuneResult struct {
+	Plan       *queryplan.PQP
+	Estimate   Estimate
+	Candidates int
+	// Cost is the Eq. 1 weighted cost of the winner within the candidate
+	// set (0 = dominated every candidate on both metrics).
+	Cost float64
+}
+
+// Tune selects parallelism degrees for q on cluster c by enumerating
+// candidate configurations around the analytical OptiSample assignment and
+// choosing the one with the minimum predicted weighted cost.
+func Tune(q *queryplan.Query, c *cluster.Cluster, est CostEstimator, opts TuneOptions) (*TuneResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("optimizer: %w", err)
+	}
+	if opts.Weight < 0 || opts.Weight > 1 {
+		return nil, fmt.Errorf("optimizer: weight %v outside [0,1]", opts.Weight)
+	}
+
+	candidates, err := enumerate(q, c, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	type scored struct {
+		plan *queryplan.PQP
+		est  Estimate
+	}
+	var evaluated []scored
+	latMin, latMax := math.Inf(1), math.Inf(-1)
+	tptMin, tptMax := math.Inf(1), math.Inf(-1)
+	for _, cand := range candidates {
+		if err := cluster.Place(cand, c); err != nil {
+			return nil, err
+		}
+		e, err := est.Estimate(cand, c)
+		if err != nil {
+			return nil, fmt.Errorf("optimizer: estimate failed: %w", err)
+		}
+		evaluated = append(evaluated, scored{plan: cand, est: e})
+		latMin = math.Min(latMin, e.LatencyMs)
+		latMax = math.Max(latMax, e.LatencyMs)
+		tptMin = math.Min(tptMin, e.ThroughputEPS)
+		tptMax = math.Max(tptMax, e.ThroughputEPS)
+	}
+
+	best := -1
+	bestCost := math.Inf(1)
+	for i, s := range evaluated {
+		cost := WeightedCost(s.est.LatencyMs, s.est.ThroughputEPS, latMin, latMax, tptMin, tptMax, opts.Weight)
+		if cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	return &TuneResult{
+		Plan:       evaluated[best].plan,
+		Estimate:   evaluated[best].est,
+		Candidates: len(evaluated),
+		Cost:       bestCost,
+	}, nil
+}
+
+// enumerate builds the candidate set: the analytical OptiSample plan, global
+// scalings of it, per-operator perturbations, and optional random
+// explorations — deduplicated by degree vector.
+func enumerate(q *queryplan.Query, c *cluster.Cluster, opts TuneOptions) ([]*queryplan.PQP, error) {
+	base := queryplan.NewPQP(q)
+	if err := optisample.Exact().Assign(base, c, nil); err != nil {
+		return nil, err
+	}
+	maxP := c.TotalCores()
+
+	seen := make(map[string]bool)
+	var out []*queryplan.PQP
+	add := func(p *queryplan.PQP) {
+		key := fmt.Sprint(p.DegreesVector())
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, p)
+		}
+	}
+
+	scale := func(p *queryplan.PQP, opID int, factor float64) {
+		d := int(math.Ceil(float64(p.Degree(opID)) * factor))
+		if d < 1 {
+			d = 1
+		}
+		if d > maxP {
+			d = maxP
+		}
+		p.SetDegree(opID, d)
+	}
+
+	add(base.Clone())
+	// Global multipliers around the analytical point.
+	for _, f := range []float64{0.25, 0.5, 1.5, 2, 3, 4} {
+		p := base.Clone()
+		for _, o := range q.Ops {
+			scale(p, o.ID, f)
+		}
+		add(p)
+	}
+	// Per-operator perturbations.
+	for _, o := range q.Ops {
+		for _, f := range []float64{0.5, 2} {
+			p := base.Clone()
+			scale(p, o.ID, f)
+			add(p)
+		}
+	}
+	// Random exploration.
+	if opts.RandomCandidates > 0 {
+		rng := tensor.NewRNG(opts.Seed)
+		strat := optisample.Default()
+		for i := 0; i < opts.RandomCandidates; i++ {
+			p := queryplan.NewPQP(q)
+			if err := strat.Assign(p, c, rng); err != nil {
+				return nil, err
+			}
+			add(p)
+		}
+	}
+	return out, nil
+}

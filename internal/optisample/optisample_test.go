@@ -1,0 +1,208 @@
+package optisample
+
+import (
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+func linear(rate float64) *queryplan.Query {
+	return queryplan.Linear(
+		queryplan.SourceSpec{EventRate: rate, TupleWidth: 3, DataType: queryplan.TypeDouble},
+		queryplan.FilterSpec{Func: queryplan.CmpLE, LiteralClass: queryplan.TypeDouble, Selectivity: 0.5},
+		queryplan.AggSpec{Func: queryplan.AggAvg, Class: queryplan.TypeDouble, KeyClass: queryplan.TypeInt,
+			Selectivity: 0.2, Window: queryplan.WindowSpec{Type: queryplan.WindowTumbling, Policy: queryplan.PolicyCount, Length: 50}},
+	)
+}
+
+func bigCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(6, cluster.SeenTypes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestOptiSampleScalesWithRate(t *testing.T) {
+	c := bigCluster(t)
+	strat := Exact()
+	low := queryplan.NewPQP(linear(1000))
+	if err := strat.Assign(low, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	high := queryplan.NewPQP(linear(2_000_000))
+	if err := strat.Assign(high, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	// At 1k ev/s everything fits one instance.
+	for _, o := range low.Query.Ops {
+		if low.Degree(o.ID) != 1 {
+			t.Fatalf("low-rate degree for %v = %d, want 1", o.Type, low.Degree(o.ID))
+		}
+	}
+	// At 2M ev/s the filter needs several instances.
+	if high.Degree(1) < 4 {
+		t.Fatalf("high-rate filter degree %d, want >= 4", high.Degree(1))
+	}
+}
+
+func TestOptiSampleDownstreamFollowsSelectivity(t *testing.T) {
+	c := bigCluster(t)
+	p := queryplan.NewPQP(linear(2_000_000))
+	if err := Exact().Assign(p, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate input is halved by the 0.5-selectivity filter, but the
+	// aggregate per-instance capacity is lower; the key property is that
+	// degrees follow estimated rates: filter degree scales with the full
+	// rate, aggregate with the filtered one.
+	filterIn := 2_000_000.0
+	aggIn := filterIn * 0.5
+	wantFilter := int(1.2*filterIn/320_000) + 1
+	wantAgg := int(1.2*aggIn/140_000) + 1
+	if d := p.Degree(1); d < wantFilter-1 || d > wantFilter+1 {
+		t.Fatalf("filter degree %d, want ≈%d", d, wantFilter)
+	}
+	if d := p.Degree(2); d < wantAgg-1 || d > wantAgg+1 {
+		t.Fatalf("aggregate degree %d, want ≈%d", d, wantAgg)
+	}
+}
+
+func TestOptiSampleRespectsCores(t *testing.T) {
+	small, err := cluster.New(1, []cluster.NodeType{{Name: "tiny", Cores: 2, FreqGHz: 2}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := queryplan.NewPQP(linear(5_000_000))
+	if err := Exact().Assign(p, small, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range p.Query.Ops {
+		if p.Degree(o.ID) > small.TotalCores() {
+			t.Fatalf("degree %d exceeds cores %d", p.Degree(o.ID), small.TotalCores())
+		}
+	}
+}
+
+func TestOptiSampleExplorationVaries(t *testing.T) {
+	c := bigCluster(t)
+	strat := Default()
+	rng := tensor.NewRNG(1)
+	seen := map[int]bool{}
+	for i := 0; i < 30; i++ {
+		p := queryplan.NewPQP(linear(1_000_000))
+		if err := strat.Assign(p, c, rng); err != nil {
+			t.Fatal(err)
+		}
+		seen[p.Degree(1)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("exploration produced no variety: %v", seen)
+	}
+}
+
+func TestOptiSampleDeterministicWithoutNoise(t *testing.T) {
+	c := bigCluster(t)
+	p1 := queryplan.NewPQP(linear(500_000))
+	p2 := queryplan.NewPQP(linear(500_000))
+	if err := Exact().Assign(p1, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := Exact().Assign(p2, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range p1.Query.Ops {
+		if p1.Degree(o.ID) != p2.Degree(o.ID) {
+			t.Fatal("Exact OptiSample not deterministic")
+		}
+	}
+}
+
+func TestRandomStrategyBounds(t *testing.T) {
+	c := bigCluster(t)
+	rng := tensor.NewRNG(2)
+	strat := &Random{}
+	maxSeen := 0
+	for i := 0; i < 50; i++ {
+		p := queryplan.NewPQP(linear(1000))
+		if err := strat.Assign(p, c, rng); err != nil {
+			t.Fatal(err)
+		}
+		for _, o := range p.Query.Ops {
+			d := p.Degree(o.ID)
+			if d < 1 || d > c.TotalCores() {
+				t.Fatalf("random degree %d out of bounds", d)
+			}
+			if d > maxSeen {
+				maxSeen = d
+			}
+		}
+	}
+	if maxSeen < 10 {
+		t.Fatalf("random strategy never explored high degrees (max %d)", maxSeen)
+	}
+}
+
+func TestRandomIgnoresRates(t *testing.T) {
+	// Random must produce high degrees even for trivial loads — that is
+	// exactly why it is data-inefficient.
+	c := bigCluster(t)
+	rng := tensor.NewRNG(3)
+	high := 0
+	for i := 0; i < 50; i++ {
+		p := queryplan.NewPQP(linear(100))
+		if err := (&Random{}).Assign(p, c, rng); err != nil {
+			t.Fatal(err)
+		}
+		if p.Degree(1) > 8 {
+			high++
+		}
+	}
+	if high == 0 {
+		t.Fatal("random never over-provisioned a trivial query")
+	}
+}
+
+func TestJoinRatesSumInputs(t *testing.T) {
+	srcs := []queryplan.SourceSpec{
+		{EventRate: 1_000_000, TupleWidth: 3, DataType: queryplan.TypeInt},
+		{EventRate: 1_000_000, TupleWidth: 3, DataType: queryplan.TypeInt},
+	}
+	filts := []queryplan.FilterSpec{
+		{Func: queryplan.CmpGT, LiteralClass: queryplan.TypeInt, Selectivity: 1.0},
+		{Func: queryplan.CmpGT, LiteralClass: queryplan.TypeInt, Selectivity: 1.0},
+	}
+	joins := []queryplan.JoinSpec{{KeyClass: queryplan.TypeInt, Selectivity: 0.001,
+		Window: queryplan.WindowSpec{Type: queryplan.WindowTumbling, Policy: queryplan.PolicyTime, Length: 1000}}}
+	agg := queryplan.AggSpec{Func: queryplan.AggSum, Class: queryplan.TypeInt, KeyClass: queryplan.TypeInt,
+		Selectivity: 0.3, Window: queryplan.WindowSpec{Type: queryplan.WindowTumbling, Policy: queryplan.PolicyCount, Length: 25}}
+	q := queryplan.NWayJoin(2, srcs, filts, joins, agg)
+
+	c, err := cluster.New(8, cluster.UnseenTypes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := queryplan.NewPQP(q)
+	if err := Exact().Assign(p, c, nil); err != nil {
+		t.Fatal(err)
+	}
+	var joinID int
+	for _, o := range q.Ops {
+		if o.Type == queryplan.OpJoin {
+			joinID = o.ID
+		}
+	}
+	// Join input 2M ev/s at 90k capacity with 1.2 headroom ≈ 27.
+	if d := p.Degree(joinID); d < 20 {
+		t.Fatalf("join degree %d, want >= 20 for 2M ev/s", d)
+	}
+}
+
+func TestStrategyNames(t *testing.T) {
+	if Default().Name() != "optisample" || (&Random{}).Name() != "random" {
+		t.Fatal("strategy names")
+	}
+}

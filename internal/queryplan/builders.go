@@ -1,0 +1,300 @@
+package queryplan
+
+import "fmt"
+
+// Spec types bundle the per-operator parameters the template builders need.
+// The workload generator fills them from the Table III ranges; examples and
+// tests fill them by hand.
+
+// SourceSpec describes a data-stream source.
+type SourceSpec struct {
+	EventRate  float64 // events/second
+	TupleWidth int     // attributes per tuple
+	DataType   DataType
+}
+
+// FilterSpec describes a comparison filter.
+type FilterSpec struct {
+	Func         CmpFunc
+	LiteralClass DataType
+	Selectivity  float64
+}
+
+// WindowSpec describes the window of an aggregate or join.
+type WindowSpec struct {
+	Type   WindowType
+	Policy WindowPolicy
+	Length float64 // tuples (count) or milliseconds (time)
+	Slide  float64 // 0 for tumbling
+}
+
+// AggSpec describes a window aggregation.
+type AggSpec struct {
+	Func        AggFunc
+	Class       DataType
+	KeyClass    DataType // TypeNone for a global (non-keyed) aggregate
+	Selectivity float64  // distinct-groups fraction per window
+	Window      WindowSpec
+}
+
+// JoinSpec describes a window join.
+type JoinSpec struct {
+	KeyClass    DataType
+	Selectivity float64 // match fraction of the window cartesian product
+	Window      WindowSpec
+}
+
+func sourceOp(id int, s SourceSpec) *Operator {
+	return &Operator{
+		ID: id, Type: OpSource,
+		EventRate:     s.EventRate,
+		TupleWidthIn:  s.TupleWidth,
+		TupleWidthOut: s.TupleWidth,
+		TupleDataType: s.DataType,
+		Selectivity:   1,
+	}
+}
+
+func filterOp(id int, widthIn int, dt DataType, f FilterSpec) *Operator {
+	return &Operator{
+		ID: id, Type: OpFilter,
+		TupleWidthIn:       widthIn,
+		TupleWidthOut:      widthIn, // filters do not project
+		TupleDataType:      dt,
+		Selectivity:        f.Selectivity,
+		FilterFunc:         f.Func,
+		FilterLiteralClass: f.LiteralClass,
+	}
+}
+
+func aggOp(id int, widthIn int, dt DataType, a AggSpec) *Operator {
+	widthOut := 2 // key + aggregate
+	if a.KeyClass == TypeNone {
+		widthOut = 1
+	}
+	return &Operator{
+		ID: id, Type: OpAggregate,
+		TupleWidthIn:  widthIn,
+		TupleWidthOut: widthOut,
+		TupleDataType: dt,
+		Selectivity:   a.Selectivity,
+		WindowType:    a.Window.Type,
+		WindowPolicy:  a.Window.Policy,
+		WindowLength:  a.Window.Length,
+		SlidingLength: a.Window.Slide,
+		AggFunc:       a.Func,
+		AggClass:      a.Class,
+		AggKeyClass:   a.KeyClass,
+	}
+}
+
+func joinOp(id int, widthLeft, widthRight int, dt DataType, j JoinSpec) *Operator {
+	return &Operator{
+		ID: id, Type: OpJoin,
+		TupleWidthIn:  widthLeft + widthRight,
+		TupleWidthOut: widthLeft + widthRight - 1, // join key stored once
+		TupleDataType: dt,
+		Selectivity:   j.Selectivity,
+		WindowType:    j.Window.Type,
+		WindowPolicy:  j.Window.Policy,
+		WindowLength:  j.Window.Length,
+		SlidingLength: j.Window.Slide,
+		JoinKeyClass:  j.KeyClass,
+	}
+}
+
+func sinkOp(id int, widthIn int, dt DataType) *Operator {
+	return &Operator{
+		ID: id, Type: OpSink,
+		TupleWidthIn:  widthIn,
+		TupleWidthOut: widthIn,
+		TupleDataType: dt,
+		Selectivity:   1,
+	}
+}
+
+// Linear builds the paper's linear query: source → filter → window
+// aggregate → sink.
+func Linear(src SourceSpec, f FilterSpec, a AggSpec) *Query {
+	srcO := sourceOp(0, src)
+	fO := filterOp(1, src.TupleWidth, src.DataType, f)
+	aO := aggOp(2, src.TupleWidth, src.DataType, a)
+	snk := sinkOp(3, aO.TupleWidthOut, src.DataType)
+	return &Query{
+		Name:     "linear",
+		Template: "linear",
+		Ops:      []*Operator{srcO, fO, aO, snk},
+		Edges: []Edge{
+			{From: 0, To: 1, Partitioning: PartRebalance},
+			{From: 1, To: 2, Partitioning: PartHash},
+			{From: 2, To: 3, Partitioning: PartForward},
+		},
+	}
+}
+
+// ChainedFilters builds a source followed by n filters and a sink — the
+// paper's "2-/3-/4-chained filters" unseen structures. Filters are linked
+// with forward edges so they are chainable at equal parallelism.
+func ChainedFilters(n int, src SourceSpec, filters []FilterSpec) *Query {
+	if n < 1 {
+		panic("queryplan: ChainedFilters needs n >= 1")
+	}
+	if len(filters) != n {
+		panic(fmt.Sprintf("queryplan: ChainedFilters got %d specs for %d filters", len(filters), n))
+	}
+	ops := []*Operator{sourceOp(0, src)}
+	edges := []Edge{{From: 0, To: 1, Partitioning: PartRebalance}}
+	for i := 0; i < n; i++ {
+		ops = append(ops, filterOp(i+1, src.TupleWidth, src.DataType, filters[i]))
+		if i > 0 {
+			edges = append(edges, Edge{From: i, To: i + 1, Partitioning: PartForward})
+		}
+	}
+	sinkID := n + 1
+	ops = append(ops, sinkOp(sinkID, src.TupleWidth, src.DataType))
+	edges = append(edges, Edge{From: n, To: sinkID, Partitioning: PartForward})
+	return &Query{
+		Name:     fmt.Sprintf("%d-chained-filters", n),
+		Template: fmt.Sprintf("%d-chained-filters", n),
+		Ops:      ops,
+		Edges:    edges,
+	}
+}
+
+// NWayJoin builds a left-deep join of n streams (n ≥ 2): each source feeds a
+// filter; the filtered streams are joined pairwise by n−1 window joins; the
+// final join output passes through a window aggregate into the sink. This is
+// the "n-way join" structure of Table III.
+func NWayJoin(n int, srcs []SourceSpec, filters []FilterSpec, joins []JoinSpec, agg AggSpec) *Query {
+	if n < 2 {
+		panic("queryplan: NWayJoin needs n >= 2")
+	}
+	if len(srcs) != n || len(filters) != n || len(joins) != n-1 {
+		panic(fmt.Sprintf("queryplan: NWayJoin(%d) got %d sources, %d filters, %d joins",
+			n, len(srcs), len(filters), len(joins)))
+	}
+	var ops []*Operator
+	var edges []Edge
+	id := 0
+	srcIDs := make([]int, n)
+	filtIDs := make([]int, n)
+	for i := 0; i < n; i++ {
+		ops = append(ops, sourceOp(id, srcs[i]))
+		srcIDs[i] = id
+		id++
+	}
+	for i := 0; i < n; i++ {
+		ops = append(ops, filterOp(id, srcs[i].TupleWidth, srcs[i].DataType, filters[i]))
+		filtIDs[i] = id
+		edges = append(edges, Edge{From: srcIDs[i], To: id, Partitioning: PartRebalance})
+		id++
+	}
+	// Left-deep join tree over the filtered streams.
+	leftID := filtIDs[0]
+	leftWidth := srcs[0].TupleWidth
+	for i := 0; i < n-1; i++ {
+		rightWidth := srcs[i+1].TupleWidth
+		j := joinOp(id, leftWidth, rightWidth, srcs[0].DataType, joins[i])
+		ops = append(ops, j)
+		edges = append(edges,
+			Edge{From: leftID, To: id, Partitioning: PartHash},
+			Edge{From: filtIDs[i+1], To: id, Partitioning: PartHash},
+		)
+		leftID = id
+		leftWidth = j.TupleWidthOut
+		id++
+	}
+	a := aggOp(id, leftWidth, srcs[0].DataType, agg)
+	ops = append(ops, a)
+	edges = append(edges, Edge{From: leftID, To: id, Partitioning: PartHash})
+	aggID := id
+	id++
+	ops = append(ops, sinkOp(id, a.TupleWidthOut, srcs[0].DataType))
+	edges = append(edges, Edge{From: aggID, To: id, Partitioning: PartForward})
+	return &Query{
+		Name:     fmt.Sprintf("%d-way-join", n),
+		Template: fmt.Sprintf("%d-way-join", n),
+		Ops:      ops,
+		Edges:    edges,
+	}
+}
+
+// SpikeDetection builds the spike-detection benchmark (Intel lab sensor
+// data): a sensor stream feeds a 2-second sliding moving average whose
+// output is compared by a spike filter, results go to the sink.
+func SpikeDetection(eventRate float64) *Query {
+	src := SourceSpec{EventRate: eventRate, TupleWidth: 4, DataType: TypeDouble}
+	avg := AggSpec{
+		Func: AggAvg, Class: TypeDouble, KeyClass: TypeInt,
+		Selectivity: 0.08, // ~1 average per sensor per slide
+		Window:      WindowSpec{Type: WindowSliding, Policy: PolicyTime, Length: 2000, Slide: 1000},
+	}
+	spike := FilterSpec{Func: CmpGT, LiteralClass: TypeDouble, Selectivity: 0.03}
+
+	srcO := sourceOp(0, src)
+	avgO := aggOp(1, src.TupleWidth, src.DataType, avg)
+	spkO := filterOp(2, avgO.TupleWidthOut, TypeDouble, spike)
+	snk := sinkOp(3, spkO.TupleWidthOut, TypeDouble)
+	return &Query{
+		Name:     "spike-detection",
+		Template: "spike-detection",
+		Ops:      []*Operator{srcO, avgO, spkO, snk},
+		Edges: []Edge{
+			{From: 0, To: 1, Partitioning: PartHash}, // key by sensor id
+			{From: 1, To: 2, Partitioning: PartForward},
+			{From: 2, To: 3, Partitioning: PartForward},
+		},
+	}
+}
+
+// SmartGridLocal builds the smart-grid benchmark's local query: per-plug
+// energy consumption averages over a 10 s sliding window with a 3 s slide,
+// followed by a threshold filter (load prediction trigger).
+func SmartGridLocal(eventRate float64) *Query {
+	src := SourceSpec{EventRate: eventRate, TupleWidth: 7, DataType: TypeDouble}
+	avg := AggSpec{
+		Func: AggAvg, Class: TypeDouble, KeyClass: TypeInt, // key: (house, household, plug)
+		Selectivity: 0.25,
+		Window:      WindowSpec{Type: WindowSliding, Policy: PolicyTime, Length: 10000, Slide: 3000},
+	}
+	thr := FilterSpec{Func: CmpGE, LiteralClass: TypeDouble, Selectivity: 0.2}
+
+	srcO := sourceOp(0, src)
+	avgO := aggOp(1, src.TupleWidth, src.DataType, avg)
+	thrO := filterOp(2, avgO.TupleWidthOut, TypeDouble, thr)
+	snk := sinkOp(3, thrO.TupleWidthOut, TypeDouble)
+	return &Query{
+		Name:     "smart-grid (local)",
+		Template: "smart-grid-local",
+		Ops:      []*Operator{srcO, avgO, thrO, snk},
+		Edges: []Edge{
+			{From: 0, To: 1, Partitioning: PartHash},
+			{From: 1, To: 2, Partitioning: PartForward},
+			{From: 2, To: 3, Partitioning: PartForward},
+		},
+	}
+}
+
+// SmartGridGlobal builds the smart-grid benchmark's global query: the
+// grid-wide average consumption over the same 10 s / 3 s sliding window —
+// a non-keyed aggregate whose output is a single running value.
+func SmartGridGlobal(eventRate float64) *Query {
+	src := SourceSpec{EventRate: eventRate, TupleWidth: 7, DataType: TypeDouble}
+	avg := AggSpec{
+		Func: AggAvg, Class: TypeDouble, KeyClass: TypeNone, // global aggregate
+		Selectivity: 0.02,
+		Window:      WindowSpec{Type: WindowSliding, Policy: PolicyTime, Length: 10000, Slide: 3000},
+	}
+	srcO := sourceOp(0, src)
+	avgO := aggOp(1, src.TupleWidth, src.DataType, avg)
+	snk := sinkOp(2, avgO.TupleWidthOut, TypeDouble)
+	return &Query{
+		Name:     "smart-grid (global)",
+		Template: "smart-grid-global",
+		Ops:      []*Operator{srcO, avgO, snk},
+		Edges: []Edge{
+			{From: 0, To: 1, Partitioning: PartRebalance}, // global: no key
+			{From: 1, To: 2, Partitioning: PartForward},
+		},
+	}
+}

@@ -1,0 +1,204 @@
+package queryplan
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PQP is a parallel query plan: a logical query whose operators each carry a
+// parallelism degree and a placement of their parallel instances onto
+// cluster nodes (referenced by node name; the cluster package owns the node
+// catalogue).
+type PQP struct {
+	Query       *Query
+	Parallelism map[int]int      // operator ID → degree (≥ 1)
+	Placement   map[int][]string // operator ID → node name per instance, len == degree
+	// NoChain marks operators that must start a new chain even when the
+	// structural chaining conditions hold — Flink's disableChaining()
+	// knob, used by the autopipelining baseline to trade hand-off cost for
+	// pipeline parallelism.
+	NoChain map[int]bool
+}
+
+// NewPQP returns a PQP over q with every operator at parallelism 1 and no
+// placement.
+func NewPQP(q *Query) *PQP {
+	p := &PQP{Query: q, Parallelism: make(map[int]int, len(q.Ops)), Placement: make(map[int][]string)}
+	for _, o := range q.Ops {
+		p.Parallelism[o.ID] = 1
+	}
+	return p
+}
+
+// Clone returns a deep copy of the PQP sharing the (immutable) Query.
+func (p *PQP) Clone() *PQP {
+	c := &PQP{Query: p.Query, Parallelism: make(map[int]int, len(p.Parallelism)), Placement: make(map[int][]string, len(p.Placement))}
+	for k, v := range p.Parallelism {
+		c.Parallelism[k] = v
+	}
+	for k, v := range p.Placement {
+		c.Placement[k] = append([]string(nil), v...)
+	}
+	if p.NoChain != nil {
+		c.NoChain = make(map[int]bool, len(p.NoChain))
+		for k, v := range p.NoChain {
+			c.NoChain[k] = v
+		}
+	}
+	return c
+}
+
+// SetNoChain marks (or unmarks) an operator as chain-disabled and drops any
+// existing placement, which depends on the chain structure.
+func (p *PQP) SetNoChain(opID int, disabled bool) {
+	if p.NoChain == nil {
+		p.NoChain = make(map[int]bool)
+	}
+	if disabled {
+		p.NoChain[opID] = true
+	} else {
+		delete(p.NoChain, opID)
+	}
+	p.Placement = make(map[int][]string)
+}
+
+// Degree returns the parallelism degree of the operator, defaulting to 1.
+func (p *PQP) Degree(opID int) int {
+	if d, ok := p.Parallelism[opID]; ok {
+		return d
+	}
+	return 1
+}
+
+// SetDegree sets the parallelism degree of the operator. Degrees below 1
+// are clamped to 1. Changing a degree invalidates any existing placement
+// for that operator, which is dropped.
+func (p *PQP) SetDegree(opID, degree int) {
+	if degree < 1 {
+		degree = 1
+	}
+	p.Parallelism[opID] = degree
+	delete(p.Placement, opID)
+}
+
+// TotalInstances returns the sum of parallelism degrees across operators.
+func (p *PQP) TotalInstances() int {
+	n := 0
+	for _, o := range p.Query.Ops {
+		n += p.Degree(o.ID)
+	}
+	return n
+}
+
+// AvgDegree returns the average parallelism degree per operator, the number
+// the paper buckets into XS/S/M/L/XL parallelism categories.
+func (p *PQP) AvgDegree() float64 {
+	if len(p.Query.Ops) == 0 {
+		return 0
+	}
+	return float64(p.TotalInstances()) / float64(len(p.Query.Ops))
+}
+
+// Validate checks degrees and placements for consistency with the query.
+func (p *PQP) Validate() error {
+	if err := p.Query.Validate(); err != nil {
+		return err
+	}
+	for id, d := range p.Parallelism {
+		if p.Query.Op(id) == nil {
+			return fmt.Errorf("queryplan: parallelism for unknown operator %d", id)
+		}
+		if d < 1 {
+			return fmt.Errorf("queryplan: operator %d has parallelism %d < 1", id, d)
+		}
+	}
+	for id, nodes := range p.Placement {
+		op := p.Query.Op(id)
+		if op == nil {
+			return fmt.Errorf("queryplan: placement for unknown operator %d", id)
+		}
+		if len(nodes) != p.Degree(id) {
+			return fmt.Errorf("queryplan: operator %d placed on %d nodes, degree is %d", id, len(nodes), p.Degree(id))
+		}
+		for i, n := range nodes {
+			if n == "" {
+				return fmt.Errorf("queryplan: operator %d instance %d has empty node name", id, i)
+			}
+		}
+	}
+	return nil
+}
+
+// ChainGroups computes Flink-style operator chaining: consecutive operators
+// connected by a forward edge with identical parallelism degrees are fused
+// into one chain group and execute within the same task slots, avoiding
+// network transfer and serialization between them. Sources and sinks
+// participate in chains exactly like Flink's default chaining.
+//
+// The result maps every operator ID to its chain group; groups are numbered
+// densely in topological order. Operators with multiple inputs (joins) start
+// a new chain, as do targets of rebalance/hash edges.
+func (p *PQP) ChainGroups() map[int]int {
+	order, err := p.Query.TopoOrder()
+	if err != nil {
+		// Callers validate first; fall back to singleton groups.
+		groups := make(map[int]int, len(p.Query.Ops))
+		for i, o := range p.Query.Ops {
+			groups[o.ID] = i
+		}
+		return groups
+	}
+	group := make(map[int]int, len(order))
+	next := 0
+	for _, id := range order {
+		ins := p.Query.InEdges(id)
+		// Chainable iff exactly one input edge, forward partitioning, equal
+		// parallelism with the upstream operator, and chaining not disabled
+		// for this operator.
+		if len(ins) == 1 && !p.NoChain[id] {
+			e := ins[0]
+			if e.Partitioning == PartForward && p.Degree(e.From) == p.Degree(id) {
+				group[id] = group[e.From]
+				continue
+			}
+		}
+		group[id] = next
+		next++
+	}
+	return group
+}
+
+// GroupingNumber returns, per operator, the size of its chain group — the
+// "grouping number" transferable feature of Table I.
+func (p *PQP) GroupingNumber() map[int]int {
+	groups := p.ChainGroups()
+	size := make(map[int]int)
+	for _, g := range groups {
+		size[g]++
+	}
+	out := make(map[int]int, len(groups))
+	for id, g := range groups {
+		out[id] = size[g]
+	}
+	return out
+}
+
+// DegreesVector returns the parallelism degrees in operator-ID order, useful
+// for logging and tests.
+func (p *PQP) DegreesVector() []int {
+	ids := make([]int, 0, len(p.Query.Ops))
+	for _, o := range p.Query.Ops {
+		ids = append(ids, o.ID)
+	}
+	sort.Ints(ids)
+	out := make([]int, len(ids))
+	for i, id := range ids {
+		out[i] = p.Degree(id)
+	}
+	return out
+}
+
+// String summarizes the plan for logs.
+func (p *PQP) String() string {
+	return fmt.Sprintf("PQP{%s degrees=%v}", p.Query.Template, p.DegreesVector())
+}

@@ -1,0 +1,229 @@
+package queryplan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Edge is a directed data-flow edge between two operators, annotated with
+// the partitioning strategy used to distribute tuples among the downstream
+// operator's parallel instances.
+type Edge struct {
+	From, To     int
+	Partitioning PartitionStrategy
+}
+
+// Query is a logical streaming query: a DAG of operators from one or more
+// sources to a single sink.
+type Query struct {
+	Name     string // human-readable, e.g. "smart-grid (local)"
+	Template string // structural template id, e.g. "linear", "3-way-join"
+	Ops      []*Operator
+	Edges    []Edge
+}
+
+// Op returns the operator with the given ID, or nil if absent.
+func (q *Query) Op(id int) *Operator {
+	for _, o := range q.Ops {
+		if o.ID == id {
+			return o
+		}
+	}
+	return nil
+}
+
+// Sources returns the source operators in ID order.
+func (q *Query) Sources() []*Operator {
+	var out []*Operator
+	for _, o := range q.Ops {
+		if o.Type == OpSource {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Sink returns the sink operator, or nil if the query has none.
+func (q *Query) Sink() *Operator {
+	for _, o := range q.Ops {
+		if o.Type == OpSink {
+			return o
+		}
+	}
+	return nil
+}
+
+// Upstream returns the IDs of direct upstream operators of id, in edge order.
+func (q *Query) Upstream(id int) []int {
+	var out []int
+	for _, e := range q.Edges {
+		if e.To == id {
+			out = append(out, e.From)
+		}
+	}
+	return out
+}
+
+// Downstream returns the IDs of direct downstream operators of id.
+func (q *Query) Downstream(id int) []int {
+	var out []int
+	for _, e := range q.Edges {
+		if e.From == id {
+			out = append(out, e.To)
+		}
+	}
+	return out
+}
+
+// InEdges returns the edges arriving at id.
+func (q *Query) InEdges(id int) []Edge {
+	var out []Edge
+	for _, e := range q.Edges {
+		if e.To == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TopoOrder returns the operator IDs in a deterministic topological order
+// (sources first, sink last; ties broken by ID). It returns an error when
+// the edge set contains a cycle or references unknown operators.
+func (q *Query) TopoOrder() ([]int, error) {
+	inDeg := make(map[int]int, len(q.Ops))
+	for _, o := range q.Ops {
+		inDeg[o.ID] = 0
+	}
+	for _, e := range q.Edges {
+		if _, ok := inDeg[e.From]; !ok {
+			return nil, fmt.Errorf("queryplan: edge from unknown operator %d", e.From)
+		}
+		if _, ok := inDeg[e.To]; !ok {
+			return nil, fmt.Errorf("queryplan: edge to unknown operator %d", e.To)
+		}
+		inDeg[e.To]++
+	}
+	var ready []int
+	for id, d := range inDeg {
+		if d == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Ints(ready)
+	var order []int
+	for len(ready) > 0 {
+		id := ready[0]
+		ready = ready[1:]
+		order = append(order, id)
+		next := q.Downstream(id)
+		sort.Ints(next)
+		for _, to := range next {
+			inDeg[to]--
+			if inDeg[to] == 0 {
+				// Insert keeping ready sorted for determinism.
+				i := sort.SearchInts(ready, to)
+				ready = append(ready, 0)
+				copy(ready[i+1:], ready[i:])
+				ready[i] = to
+			}
+		}
+	}
+	if len(order) != len(q.Ops) {
+		return nil, fmt.Errorf("queryplan: cycle detected (%d of %d operators ordered)", len(order), len(q.Ops))
+	}
+	return order, nil
+}
+
+// Validate checks structural well-formedness: unique IDs, valid operators,
+// acyclicity, at least one source, exactly one sink, sources without inputs,
+// sink without outputs, and everything reachable.
+func (q *Query) Validate() error {
+	if len(q.Ops) == 0 {
+		return fmt.Errorf("queryplan: query %q has no operators", q.Name)
+	}
+	seen := make(map[int]bool, len(q.Ops))
+	for _, o := range q.Ops {
+		if seen[o.ID] {
+			return fmt.Errorf("queryplan: duplicate operator ID %d", o.ID)
+		}
+		seen[o.ID] = true
+		if err := o.Validate(); err != nil {
+			return err
+		}
+	}
+	if len(q.Sources()) == 0 {
+		return fmt.Errorf("queryplan: query %q has no source", q.Name)
+	}
+	sinks := 0
+	for _, o := range q.Ops {
+		if o.Type == OpSink {
+			sinks++
+		}
+	}
+	if sinks != 1 {
+		return fmt.Errorf("queryplan: query %q has %d sinks, want 1", q.Name, sinks)
+	}
+	for _, o := range q.Ops {
+		ups, downs := q.Upstream(o.ID), q.Downstream(o.ID)
+		switch o.Type {
+		case OpSource:
+			if len(ups) != 0 {
+				return fmt.Errorf("queryplan: source %d has %d inputs", o.ID, len(ups))
+			}
+			if len(downs) == 0 {
+				return fmt.Errorf("queryplan: source %d is disconnected", o.ID)
+			}
+		case OpSink:
+			if len(downs) != 0 {
+				return fmt.Errorf("queryplan: sink %d has outputs", o.ID)
+			}
+			if len(ups) == 0 {
+				return fmt.Errorf("queryplan: sink %d is disconnected", o.ID)
+			}
+		case OpJoin:
+			if len(ups) != 2 {
+				return fmt.Errorf("queryplan: join %d has %d inputs, want 2", o.ID, len(ups))
+			}
+		default:
+			if len(ups) != 1 {
+				return fmt.Errorf("queryplan: operator %d (%s) has %d inputs, want 1", o.ID, o.Type, len(ups))
+			}
+			if len(downs) == 0 {
+				return fmt.Errorf("queryplan: operator %d (%s) has no output", o.ID, o.Type)
+			}
+		}
+	}
+	order, err := q.TopoOrder()
+	if err != nil {
+		return err
+	}
+	if len(order) != len(q.Ops) {
+		return fmt.Errorf("queryplan: unreachable operators in query %q", q.Name)
+	}
+	return nil
+}
+
+// OpCountByType returns the number of operators of each type, used by the
+// flat-vector baseline featurization.
+func (q *Query) OpCountByType() map[OpType]int {
+	out := make(map[OpType]int)
+	for _, o := range q.Ops {
+		out[o.Type]++
+	}
+	return out
+}
+
+// DOT renders the logical plan in Graphviz format for debugging.
+func (q *Query) DOT() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n", q.Name)
+	for _, o := range q.Ops {
+		fmt.Fprintf(&b, "  op%d [label=\"%s(%d)\"];\n", o.ID, o.Type, o.ID)
+	}
+	for _, e := range q.Edges {
+		fmt.Fprintf(&b, "  op%d -> op%d [label=\"%s\"];\n", e.From, e.To, e.Partitioning)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,86 @@
+package queryplan
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON serialization for queries and parallel query plans, so plans can be
+// exchanged with external tools (and the CLI's simulate subcommand can read
+// plans from disk).
+
+// queryJSON is the wire format of a Query.
+type queryJSON struct {
+	Name     string      `json:"name"`
+	Template string      `json:"template"`
+	Ops      []*Operator `json:"ops"`
+	Edges    []Edge      `json:"edges"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (q *Query) MarshalJSON() ([]byte, error) {
+	return json.Marshal(queryJSON{Name: q.Name, Template: q.Template, Ops: q.Ops, Edges: q.Edges})
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded
+// query.
+func (q *Query) UnmarshalJSON(data []byte) error {
+	var in queryJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	decoded := Query{Name: in.Name, Template: in.Template, Ops: in.Ops, Edges: in.Edges}
+	if err := decoded.Validate(); err != nil {
+		return fmt.Errorf("queryplan: invalid serialized query: %w", err)
+	}
+	*q = decoded
+	return nil
+}
+
+// pqpJSON is the wire format of a PQP.
+type pqpJSON struct {
+	Query       *Query           `json:"query"`
+	Parallelism map[int]int      `json:"parallelism"`
+	Placement   map[int][]string `json:"placement,omitempty"`
+	NoChain     []int            `json:"no_chain,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *PQP) MarshalJSON() ([]byte, error) {
+	out := pqpJSON{Query: p.Query, Parallelism: p.Parallelism, Placement: p.Placement}
+	for id, v := range p.NoChain {
+		if v {
+			out.NoChain = append(out.NoChain, id)
+		}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler and validates the decoded plan.
+func (p *PQP) UnmarshalJSON(data []byte) error {
+	var in pqpJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	if in.Query == nil {
+		return fmt.Errorf("queryplan: serialized plan has no query")
+	}
+	decoded := PQP{Query: in.Query, Parallelism: in.Parallelism, Placement: in.Placement}
+	if decoded.Parallelism == nil {
+		decoded.Parallelism = make(map[int]int)
+	}
+	if decoded.Placement == nil {
+		decoded.Placement = make(map[int][]string)
+	}
+	for _, id := range in.NoChain {
+		if decoded.NoChain == nil {
+			decoded.NoChain = make(map[int]bool)
+		}
+		decoded.NoChain[id] = true
+	}
+	if err := decoded.Validate(); err != nil {
+		return fmt.Errorf("queryplan: invalid serialized plan: %w", err)
+	}
+	*p = decoded
+	return nil
+}

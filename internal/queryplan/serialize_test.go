@@ -1,0 +1,97 @@
+package queryplan
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestQueryJSONRoundTrip(t *testing.T) {
+	q := test3Way()
+	data, err := json.Marshal(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q2 Query
+	if err := json.Unmarshal(data, &q2); err != nil {
+		t.Fatal(err)
+	}
+	if len(q2.Ops) != len(q.Ops) || len(q2.Edges) != len(q.Edges) || q2.Template != q.Template {
+		t.Fatalf("round trip lost structure: %d ops %d edges", len(q2.Ops), len(q2.Edges))
+	}
+	if err := q2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Operator parameters must survive.
+	for i := range q.Ops {
+		if q2.Ops[i].Selectivity != q.Ops[i].Selectivity || q2.Ops[i].Type != q.Ops[i].Type {
+			t.Fatal("operator parameters lost")
+		}
+	}
+}
+
+func TestQueryJSONRejectsInvalid(t *testing.T) {
+	var q Query
+	if err := json.Unmarshal([]byte(`{"name":"x","ops":[],"edges":[]}`), &q); err == nil {
+		t.Fatal("accepted empty query")
+	}
+	if err := json.Unmarshal([]byte(`{bad`), &q); err == nil {
+		t.Fatal("accepted malformed JSON")
+	}
+}
+
+func TestPQPJSONRoundTrip(t *testing.T) {
+	p := NewPQP(testLinear())
+	p.SetDegree(1, 4)
+	p.SetDegree(2, 2)
+	p.SetNoChain(3, true)
+	p.Placement[0] = []string{"n0"}
+	p.Placement[1] = []string{"n0", "n1", "n0", "n1"}
+	p.Placement[2] = []string{"n0", "n1"}
+	p.Placement[3] = []string{"n1"}
+
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p2 PQP
+	if err := json.Unmarshal(data, &p2); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Degree(1) != 4 || p2.Degree(2) != 2 {
+		t.Fatalf("degrees lost: %v", p2.DegreesVector())
+	}
+	if !p2.NoChain[3] {
+		t.Fatal("NoChain lost")
+	}
+	if p2.Placement[1][3] != "n1" {
+		t.Fatal("placement lost")
+	}
+	// Chain groups must match after the round trip.
+	g1, g2 := p.ChainGroups(), p2.ChainGroups()
+	for id := range g1 {
+		if (g1[id] == g1[3]) != (g2[id] == g2[3]) {
+			t.Fatal("chain structure changed")
+		}
+	}
+}
+
+func TestPQPJSONRejectsInvalid(t *testing.T) {
+	var p PQP
+	if err := json.Unmarshal([]byte(`{"parallelism":{}}`), &p); err == nil {
+		t.Fatal("accepted plan without query")
+	}
+	// Degree below 1.
+	q := testLinear()
+	good := NewPQP(q)
+	data, _ := json.Marshal(good)
+	var tweaked map[string]any
+	if err := json.Unmarshal(data, &tweaked); err != nil {
+		t.Fatal(err)
+	}
+	tweaked["parallelism"] = map[string]int{"1": 0}
+	bad, _ := json.Marshal(tweaked)
+	var p2 PQP
+	if err := json.Unmarshal(bad, &p2); err == nil {
+		t.Fatal("accepted degree 0")
+	}
+}

@@ -1,0 +1,102 @@
+package simulator
+
+import (
+	"testing"
+
+	"zerotune/internal/queryplan"
+)
+
+func TestServiceTimeScalesWithFrequency(t *testing.T) {
+	cm := DefaultCostModel()
+	op := &queryplan.Operator{Type: queryplan.OpFilter, TupleWidthIn: 3,
+		FilterFunc: queryplan.CmpLT, FilterLiteralClass: queryplan.TypeInt}
+	slow := cm.ServiceTimeUs(op, 1.0, 1, 0)
+	fast := cm.ServiceTimeUs(op, 2.0, 1, 0)
+	if fast >= slow {
+		t.Fatalf("service time did not shrink with frequency: %v vs %v", slow, fast)
+	}
+	if slow/fast < 1.9 || slow/fast > 2.1 {
+		t.Fatalf("service time not inversely proportional to frequency: ratio %v", slow/fast)
+	}
+}
+
+func TestServiceTimeZeroFrequencyDefended(t *testing.T) {
+	cm := DefaultCostModel()
+	op := &queryplan.Operator{Type: queryplan.OpSink, TupleWidthIn: 1}
+	if us := cm.ServiceTimeUs(op, 0, 1, 0); us <= 0 {
+		t.Fatalf("zero frequency produced %v", us)
+	}
+}
+
+func TestStringComparisonsCostMore(t *testing.T) {
+	cm := DefaultCostModel()
+	intF := &queryplan.Operator{Type: queryplan.OpFilter, TupleWidthIn: 3,
+		FilterFunc: queryplan.CmpEQ, FilterLiteralClass: queryplan.TypeInt}
+	strF := &queryplan.Operator{Type: queryplan.OpFilter, TupleWidthIn: 3,
+		FilterFunc: queryplan.CmpEQ, FilterLiteralClass: queryplan.TypeString}
+	if cm.ServiceTimeUs(strF, 2, 1, 0) <= cm.ServiceTimeUs(intF, 2, 1, 0) {
+		t.Fatal("string comparison not costlier than int")
+	}
+}
+
+func TestWiderTuplesCostMore(t *testing.T) {
+	cm := DefaultCostModel()
+	narrow := &queryplan.Operator{Type: queryplan.OpSource, TupleWidthOut: 1, TupleDataType: queryplan.TypeInt}
+	wide := &queryplan.Operator{Type: queryplan.OpSource, TupleWidthOut: 15, TupleDataType: queryplan.TypeInt}
+	if cm.ServiceTimeUs(wide, 2, 1, 0) <= cm.ServiceTimeUs(narrow, 2, 1, 0) {
+		t.Fatal("wide tuple not costlier to emit")
+	}
+}
+
+func TestJoinProbeCostGrowsWithCandidates(t *testing.T) {
+	cm := DefaultCostModel()
+	j := &queryplan.Operator{Type: queryplan.OpJoin, TupleWidthIn: 6,
+		JoinKeyClass: queryplan.TypeInt, WindowType: queryplan.WindowTumbling,
+		WindowPolicy: queryplan.PolicyTime, WindowLength: 1000}
+	cheap := cm.ServiceTimeUs(j, 2, 0.1, 1)
+	expensive := cm.ServiceTimeUs(j, 2, 0.1, 1000)
+	if expensive <= cheap {
+		t.Fatal("probe cost insensitive to candidate count")
+	}
+}
+
+func TestKeyedAggregationCostsHashing(t *testing.T) {
+	cm := DefaultCostModel()
+	keyed := &queryplan.Operator{Type: queryplan.OpAggregate, TupleWidthIn: 3,
+		AggFunc: queryplan.AggSum, AggKeyClass: queryplan.TypeString,
+		WindowType: queryplan.WindowTumbling, WindowPolicy: queryplan.PolicyCount, WindowLength: 10}
+	global := &queryplan.Operator{Type: queryplan.OpAggregate, TupleWidthIn: 3,
+		AggFunc: queryplan.AggSum, AggKeyClass: queryplan.TypeNone,
+		WindowType: queryplan.WindowTumbling, WindowPolicy: queryplan.PolicyCount, WindowLength: 10}
+	if cm.ServiceTimeUs(keyed, 2, 0.2, 0) <= cm.ServiceTimeUs(global, 2, 0.2, 0) {
+		t.Fatal("keyed aggregation not costlier than global")
+	}
+}
+
+func TestAggFunctionFactors(t *testing.T) {
+	if aggFuncFactor(queryplan.AggAvg) <= aggFuncFactor(queryplan.AggSum) {
+		t.Fatal("avg should cost more than sum")
+	}
+	if aggFuncFactor(queryplan.AggMin) <= aggFuncFactor(queryplan.AggCount) {
+		t.Fatal("min should cost more than count")
+	}
+}
+
+func TestCmpFunctionFactors(t *testing.T) {
+	if cmpFuncFactor(queryplan.CmpLE) <= cmpFuncFactor(queryplan.CmpEQ) {
+		t.Fatal("<= should cost more than ==")
+	}
+}
+
+func TestTupleBytes(t *testing.T) {
+	if TupleBytes(3, queryplan.TypeString) <= TupleBytes(3, queryplan.TypeInt) {
+		t.Fatal("string tuples should be larger on the wire")
+	}
+	if TupleBytes(10, queryplan.TypeInt) <= TupleBytes(1, queryplan.TypeInt) {
+		t.Fatal("wider tuples should be larger")
+	}
+	// Envelope: even a zero-width tuple has framing overhead.
+	if TupleBytes(0, queryplan.TypeInt) <= 0 {
+		t.Fatal("missing envelope bytes")
+	}
+}

@@ -1,0 +1,50 @@
+package simulator_test
+
+import (
+	"fmt"
+	"log"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/simulator"
+)
+
+// Example simulates the spike-detection benchmark on a four-worker cluster
+// and inspects the per-operator diagnostics. (No Output comment: examples
+// compile but are not executed during tests.)
+func Example() {
+	q := queryplan.SpikeDetection(200_000)
+	p := queryplan.NewPQP(q)
+	p.SetDegree(1, 4) // the 2 s moving-average aggregate
+
+	c, err := cluster.New(4, cluster.SeenTypes(), 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := simulator.Simulate(p, c, simulator.Options{DisableNoise: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("latency %.1f ms, throughput %.0f ev/s, backpressured=%v\n",
+		res.LatencyMs, res.ThroughputEPS, res.Backpressured)
+	for id, st := range res.OpStats {
+		if st.Bottleneck {
+			fmt.Printf("bottleneck: operator %d at %.0f%% utilization\n", id, st.Utilization*100)
+		}
+	}
+}
+
+// Example_stragglers shows failure injection: one machine runs 4× slower
+// and the plan's capacity collapses accordingly.
+func Example_stragglers() {
+	p := queryplan.NewPQP(queryplan.SmartGridLocal(150_000))
+	c, _ := cluster.New(4, cluster.SeenTypes(), 10)
+
+	healthy, _ := simulator.Simulate(p.Clone(), c, simulator.Options{DisableNoise: true})
+	degraded, _ := simulator.Simulate(p.Clone(), c, simulator.Options{
+		DisableNoise: true,
+		Stragglers:   map[string]float64{c.Nodes[0].Name: 4},
+	})
+	fmt.Printf("capacity: healthy %.0f ev/s, with straggler %.0f ev/s\n",
+		healthy.CapacityEPS, degraded.CapacityEPS)
+}

@@ -1,0 +1,186 @@
+package simulator
+
+import (
+	"fmt"
+	"math"
+
+	"zerotune/internal/queryplan"
+)
+
+// opRates carries the steady-state data-rate analysis of one operator at a
+// given offered load.
+type opRates struct {
+	inRate   float64 // total events/s entering the operator (both sides for joins)
+	outRate  float64 // total events/s leaving the operator
+	outPerIn float64 // emission amortization factor (outRate/inRate)
+
+	// Join-only: expected candidate tuples scanned in the opposite window
+	// per arriving tuple (drives probe cost), already including the match
+	// selectivity of the hash bucket.
+	probeCandidates float64
+
+	// windowSeconds is the expected residence horizon of the operator's
+	// window (0 for unwindowed operators); used for window wait time.
+	windowSeconds float64
+	// windowsPerSec is the window emission frequency.
+	windowsPerSec float64
+}
+
+const minRate = 1e-9
+
+// windowSpan returns the effective horizon (seconds) a window covers and the
+// emission frequency (windows/second) given the operator's window definition
+// and its input rate.
+func windowSpan(op *queryplan.Operator, inRate float64) (horizonSec, windowsPerSec float64) {
+	if inRate < minRate {
+		inRate = minRate
+	}
+	length := op.WindowLength
+	slide := op.SlidingLength
+	if op.WindowType != queryplan.WindowSliding || slide <= 0 {
+		slide = length
+	}
+	switch op.WindowPolicy {
+	case queryplan.PolicyTime: // lengths in milliseconds
+		return length / 1000, 1000 / slide
+	case queryplan.PolicyCount: // lengths in tuples
+		return length / inRate, inRate / slide
+	default:
+		return 0, 0
+	}
+}
+
+// propagateRates computes the per-operator steady-state rates when the
+// sources are scaled by factor alpha (alpha = 1 is the nominal plan).
+// Operators are visited in topological order; joins read both inputs.
+func propagateRates(q *queryplan.Query, order []int, alpha float64) (map[int]*opRates, error) {
+	rates := make(map[int]*opRates, len(q.Ops))
+	for _, id := range order {
+		op := q.Op(id)
+		r := &opRates{}
+		switch op.Type {
+		case queryplan.OpSource:
+			r.inRate = math.Max(op.EventRate*alpha, minRate)
+			r.outRate = r.inRate
+			r.outPerIn = 1
+
+		case queryplan.OpFilter:
+			ups := q.Upstream(id)
+			if len(ups) != 1 {
+				return nil, fmt.Errorf("simulator: filter %d has %d inputs", id, len(ups))
+			}
+			r.inRate = math.Max(rates[ups[0]].outRate, minRate)
+			r.outRate = r.inRate * op.Selectivity
+			r.outPerIn = op.Selectivity
+
+		case queryplan.OpAggregate:
+			ups := q.Upstream(id)
+			if len(ups) != 1 {
+				return nil, fmt.Errorf("simulator: aggregate %d has %d inputs", id, len(ups))
+			}
+			r.inRate = math.Max(rates[ups[0]].outRate, minRate)
+			horizon, wps := windowSpan(op, r.inRate)
+			r.windowSeconds = horizon
+			r.windowsPerSec = wps
+			windowTuples := r.inRate * horizon
+			// Distinct groups per window emission (Def. 6): at least one
+			// result per window, at most one per buffered tuple.
+			groups := math.Max(1, math.Min(op.Selectivity*windowTuples, windowTuples))
+			r.outRate = wps * groups
+			r.outPerIn = r.outRate / r.inRate
+
+		case queryplan.OpJoin:
+			ups := q.Upstream(id)
+			if len(ups) != 2 {
+				return nil, fmt.Errorf("simulator: join %d has %d inputs", id, len(ups))
+			}
+			in1 := math.Max(rates[ups[0]].outRate, minRate)
+			in2 := math.Max(rates[ups[1]].outRate, minRate)
+			r.inRate = in1 + in2
+			horizon, wps := windowSpan(op, r.inRate)
+			r.windowSeconds = horizon
+			r.windowsPerSec = wps
+			// Buffered tuples per side over the window horizon.
+			w1 := in1 * horizon
+			w2 := in2 * horizon
+			// Def. 5: matches are sel · |W1|·|W2| per window pair; in
+			// steady state each arriving tuple matches sel · |W_opposite|.
+			r.outRate = op.Selectivity * (in1*w2 + in2*w1)
+			r.outPerIn = r.outRate / r.inRate
+			r.probeCandidates = r.outPerIn // candidates ≈ matches per tuple
+
+		case queryplan.OpSink:
+			ups := q.Upstream(id)
+			if len(ups) != 1 {
+				return nil, fmt.Errorf("simulator: sink %d has %d inputs", id, len(ups))
+			}
+			r.inRate = math.Max(rates[ups[0]].outRate, minRate)
+			r.outRate = r.inRate
+			r.outPerIn = 1
+
+		default:
+			return nil, fmt.Errorf("simulator: unknown operator type %v", op.Type)
+		}
+		rates[id] = r
+	}
+	return rates, nil
+}
+
+// maxShare returns the fraction of an operator's input stream that its most
+// loaded instance receives: 1/P for perfectly balanced partitioning, larger
+// under hash skew, which grows mildly with the degree.
+func (cm *CostModel) maxShare(part queryplan.PartitionStrategy, degree int) float64 {
+	if degree <= 1 {
+		return 1
+	}
+	p := float64(degree)
+	switch part {
+	case queryplan.PartHash:
+		skew := cm.SkewBase + cm.SkewGrowth*math.Log(p)
+		return math.Min(1, (1+skew)/p)
+	default: // forward, rebalance: even
+		return 1 / p
+	}
+}
+
+// inputPartitioning returns the dominant partitioning strategy feeding the
+// operator: hash wins over rebalance wins over forward when inputs disagree
+// (a join with one hash input is hash-partitioned).
+func inputPartitioning(q *queryplan.Query, id int) queryplan.PartitionStrategy {
+	best := queryplan.PartForward
+	for _, e := range q.InEdges(id) {
+		if e.Partitioning > best {
+			best = e.Partitioning
+		}
+	}
+	return best
+}
+
+// RateEstimate summarizes the steady-state analytical rates of one
+// operator at the offered load.
+type RateEstimate struct {
+	InRate          float64
+	OutRate         float64
+	OutPerIn        float64
+	ProbeCandidates float64
+}
+
+// EstimateSteadyRates exposes the engine's Def. 3–6 rate propagation to
+// external consumers (the discrete-event validator uses it to derive the
+// same amortized service times the analytical engine charges).
+func EstimateSteadyRates(q *queryplan.Query, order []int) map[int]RateEstimate {
+	rates, err := propagateRates(q, order, 1)
+	if err != nil {
+		return map[int]RateEstimate{}
+	}
+	out := make(map[int]RateEstimate, len(rates))
+	for id, r := range rates {
+		out[id] = RateEstimate{
+			InRate:          r.inRate,
+			OutRate:         r.outRate,
+			OutPerIn:        r.outPerIn,
+			ProbeCandidates: r.probeCandidates,
+		}
+	}
+	return out
+}

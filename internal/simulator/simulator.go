@@ -1,0 +1,554 @@
+package simulator
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+// Options configures a simulation run.
+type Options struct {
+	// Cost holds the engine calibration; zero value means DefaultCostModel.
+	Cost *CostModel
+	// Seed perturbs the deterministic measurement noise. Two runs with the
+	// same plan, cluster and seed return identical results.
+	Seed uint64
+	// DisableNoise turns off measurement noise regardless of Cost.NoiseSigma.
+	DisableNoise bool
+	// DisableChaining makes the engine treat every operator as un-chained
+	// (used by the Fig. 3 micro-benchmark to show the chaining effect).
+	DisableChaining bool
+	// Stragglers injects per-node slowdown factors (≥ 1): service times of
+	// instances placed on those machines are multiplied by the factor —
+	// failure/degradation injection for robustness studies.
+	Stragglers map[string]float64
+}
+
+// OpStat reports the observable steady-state behaviour of one operator —
+// the signals a runtime monitor (and the Dhalion baseline) sees. Crucially
+// these are measured at the *sustained* rate: when the plan is
+// backpressured, operators downstream of the bottleneck observe throttled
+// input rates and deceptively low utilizations, exactly as on a real
+// cluster. An online controller therefore discovers bottlenecks one at a
+// time, which is what makes its convergence cost grow with query
+// complexity.
+type OpStat struct {
+	InRate      float64 // observed events/s entering the operator
+	OutRate     float64 // observed events/s leaving the operator
+	ServiceUs   float64 // per-tuple CPU time of the hottest instance (µs)
+	Utilization float64 // observed ρ of the hottest instance (≤ ~MaxRho)
+	MaxShare    float64 // input share of the hottest instance
+	Bottleneck  bool    // true when this operator limits plan capacity
+	// Breakdown decomposes the operator's residence time (Def. 1 terms).
+	Breakdown LatencyBreakdown
+}
+
+// LatencyBreakdown decomposes one operator's contribution to end-to-end
+// latency into the Def. 1 terms (all milliseconds).
+type LatencyBreakdown struct {
+	ServiceMs    float64 // per-tuple processing
+	QueueMs      float64 // waiting behind queued tuples
+	WindowWaitMs float64 // waiting for the window to emit
+	SyncMs       float64 // parallelism coordination overhead
+	NetworkMs    float64 // inbound edge transfer (buffer + serde + hop)
+}
+
+// TotalMs sums the components.
+func (b LatencyBreakdown) TotalMs() float64 {
+	return b.ServiceMs + b.QueueMs + b.WindowWaitMs + b.SyncMs + b.NetworkMs
+}
+
+// Result is the outcome of simulating one parallel query plan.
+type Result struct {
+	// LatencyMs is the end-to-end latency (Def. 1): source emission to sink
+	// delivery along the critical path, including queueing, window waits,
+	// network hops and coordination overhead.
+	LatencyMs float64
+	// ThroughputEPS is the sustained ingestion rate (Def. 2): the offered
+	// source rate, capped by the plan's capacity under backpressure.
+	ThroughputEPS float64
+	// CapacityEPS is the maximum sustainable total source rate.
+	CapacityEPS float64
+	// Backpressured is true when the offered rate exceeds capacity.
+	Backpressured bool
+	// BusyCores is the expected number of CPU cores kept busy in steady
+	// state (the resource-usage metric the paper mentions as a fine-tuning
+	// target in Sec. III-A).
+	BusyCores float64
+	// OpStats maps operator IDs to their steady-state statistics.
+	OpStats map[int]OpStat
+}
+
+// Simulate runs the analytical engine on plan p placed on cluster c. If the
+// plan has no placement yet, a default Flink-style placement is computed
+// first (mutating p.Placement).
+func Simulate(p *queryplan.PQP, c *cluster.Cluster, opts Options) (*Result, error) {
+	cm := opts.Cost
+	if cm == nil {
+		d := DefaultCostModel()
+		cm = &d
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("simulator: %w", err)
+	}
+	if len(p.Placement) != len(p.Query.Ops) {
+		if err := cluster.Place(p, c); err != nil {
+			return nil, err
+		}
+	}
+	// Every parallelism degree must fit the cluster (paper constraint
+	// P ≤ n_core of the resources).
+	for _, o := range p.Query.Ops {
+		if p.Degree(o.ID) > c.TotalCores() {
+			return nil, fmt.Errorf("simulator: operator %d degree %d exceeds cluster cores %d",
+				o.ID, p.Degree(o.ID), c.TotalCores())
+		}
+	}
+	order, err := p.Query.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+
+	env := &planEnv{
+		plan:       p,
+		cluster:    c,
+		cm:         cm,
+		order:      order,
+		stragglers: opts.Stragglers,
+	}
+	if opts.DisableChaining {
+		env.groups = make(map[int]int, len(p.Query.Ops))
+		for i, o := range p.Query.Ops {
+			env.groups[o.ID] = i
+		}
+	} else {
+		env.groups = p.ChainGroups()
+	}
+	env.computeOversubscription()
+
+	// Offered-load analysis (alpha = 1).
+	offered, err := env.analyze(1)
+	if err != nil {
+		return nil, err
+	}
+	capacityAlpha := env.capacityAlpha()
+	effAlpha := math.Min(1, capacityAlpha)
+	backpressured := capacityAlpha < 1
+
+	// Steady state at the sustainable rate.
+	steady := offered
+	if backpressured {
+		steady, err = env.analyze(effAlpha)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	latency, breakdowns := env.pathLatency(steady)
+	if backpressured {
+		overload := math.Min(1/capacityAlpha-1, 100)
+		latency *= 1 + cm.BackpressurePenalty*overload
+	}
+
+	totalSource := 0.0
+	for _, s := range p.Query.Sources() {
+		totalSource += s.EventRate
+	}
+	throughput := totalSource * effAlpha
+	capacity := totalSource * capacityAlpha
+
+	if !opts.DisableNoise && cm.NoiseSigma > 0 {
+		rng := tensor.NewRNG(planHash(p, c, opts.Seed))
+		latency *= rng.LogNormal(0, cm.NoiseSigma)
+		throughput *= rng.LogNormal(0, cm.NoiseSigma)
+	}
+
+	res := &Result{
+		LatencyMs:     latency,
+		ThroughputEPS: math.Max(throughput, minRate),
+		CapacityEPS:   capacity,
+		Backpressured: backpressured,
+		OpStats:       make(map[int]OpStat, len(p.Query.Ops)),
+	}
+	// Busy cores: each instance's own load contribution, capped at one
+	// full core.
+	var busy float64
+	for _, a := range steady.ops {
+		for _, r := range a.rhoInst {
+			busy += math.Min(r, 1)
+		}
+	}
+	res.BusyCores = busy
+
+	// Report operator stats at the sustained rate (what a monitor observes);
+	// find the capacity bottleneck(s).
+	maxRho := 0.0
+	for _, a := range steady.ops {
+		if a.rho > maxRho {
+			maxRho = a.rho
+		}
+	}
+	for id, a := range steady.ops {
+		res.OpStats[id] = OpStat{
+			InRate:      a.rates.inRate,
+			OutRate:     a.rates.outRate,
+			ServiceUs:   a.serviceUs,
+			Utilization: a.rho,
+			MaxShare:    a.maxShare,
+			Bottleneck:  maxRho > 0 && a.rho >= maxRho*0.999,
+			Breakdown:   breakdowns[id],
+		}
+	}
+	return res, nil
+}
+
+// planEnv caches everything that does not change with the load factor.
+type planEnv struct {
+	plan       *queryplan.PQP
+	cluster    *cluster.Cluster
+	cm         *CostModel
+	order      []int
+	groups     map[int]int
+	oversub    map[string]float64 // node name → slot oversubscription factor (≥ 1)
+	stragglers map[string]float64 // node name → injected slowdown factor (≥ 1)
+}
+
+// opAnalysis is the load-dependent state of one operator.
+type opAnalysis struct {
+	rates     *opRates
+	maxShare  float64
+	serviceUs float64 // hottest instance, including node slowdowns
+	rho       float64 // hottest instance utilization (chain-aware: chained
+	// operators share their task slot's thread, so a chain member's
+	// utilization includes the load of every operator fused into the same
+	// chain instance)
+	rhoInst []float64 // this operator's own per-instance load contribution
+}
+
+type loadAnalysis struct {
+	alpha float64
+	ops   map[int]*opAnalysis
+}
+
+func (e *planEnv) computeOversubscription() {
+	load := cluster.SlotLoad(e.plan)
+	e.oversub = make(map[string]float64, len(load))
+	for name, slots := range load {
+		n := e.cluster.Node(name)
+		if n == nil {
+			continue
+		}
+		f := float64(slots) / float64(n.Type.Cores)
+		if f < 1 {
+			f = 1
+		}
+		e.oversub[name] = f
+	}
+}
+
+func (e *planEnv) nodeFactor(name string) (freq, oversub float64) {
+	n := e.cluster.Node(name)
+	if n == nil {
+		return 1, 1
+	}
+	ov := e.oversub[name]
+	if ov == 0 {
+		ov = 1
+	}
+	if s := e.stragglers[name]; s > 1 {
+		ov *= s
+	}
+	return n.Type.FreqGHz, ov
+}
+
+// analyze computes per-operator rates and utilizations at source scale alpha.
+func (e *planEnv) analyze(alpha float64) (*loadAnalysis, error) {
+	rates, err := propagateRates(e.plan.Query, e.order, alpha)
+	if err != nil {
+		return nil, err
+	}
+	la := &loadAnalysis{alpha: alpha, ops: make(map[int]*opAnalysis, len(e.order))}
+	for _, id := range e.order {
+		op := e.plan.Query.Op(id)
+		r := rates[id]
+		degree := e.plan.Degree(id)
+		part := inputPartitioning(e.plan.Query, id)
+		if op.Type == queryplan.OpSource {
+			part = queryplan.PartRebalance // sources split their stream evenly
+		}
+		share := e.cm.maxShare(part, degree)
+
+		// Per-instance probe candidates: a hash-partitioned join instance
+		// holds its share of the windows.
+		probe := r.probeCandidates
+		rhoMax := 0.0
+		svcMax := 0.0
+		instRate := r.inRate * share
+		rhoInst := make([]float64, len(e.plan.Placement[id]))
+		for i, nodeName := range e.plan.Placement[id] {
+			freq, ov := e.nodeFactor(nodeName)
+			svc := e.cm.ServiceTimeUs(op, freq, r.outPerIn, probe) * ov
+			// Instance 0 is the hottest under skew; the rest share evenly.
+			rate := instRate
+			if i > 0 {
+				rate = r.inRate * (1 - share) / float64(max(degree-1, 1))
+			}
+			rho := rate * svc / 1e6
+			rhoInst[i] = rho
+			if rho > rhoMax {
+				rhoMax = rho
+			}
+			if svc > svcMax {
+				svcMax = svc
+			}
+			// All nodes are visited because heterogeneous clusters can make
+			// a low-rate instance on a slow node the binding one.
+		}
+		if len(e.plan.Placement[id]) == 0 {
+			// Defensive: unplaced operator — treat as a 1 GHz node.
+			svcMax = e.cm.ServiceTimeUs(op, 1, r.outPerIn, probe)
+			rhoMax = instRate * svcMax / 1e6
+			rhoInst = []float64{rhoMax}
+		}
+		la.ops[id] = &opAnalysis{rates: r, maxShare: share, serviceUs: svcMax, rho: rhoMax, rhoInst: rhoInst}
+	}
+	e.applyChainSharing(la)
+	return la, nil
+}
+
+// applyChainSharing folds chained operators' loads together: operators
+// fused into one chain execute on the same task slot thread, so instance i
+// of every chain member shares one unit of compute. Each member's reported
+// utilization becomes the chain instance's combined load.
+func (e *planEnv) applyChainSharing(la *loadAnalysis) {
+	members := make(map[int][]int) // group → op IDs
+	for _, id := range e.order {
+		g := e.groups[id]
+		members[g] = append(members[g], id)
+	}
+	for _, ops := range members {
+		if len(ops) < 2 {
+			continue
+		}
+		// Chain members share degree by construction; use the smallest
+		// instance count defensively.
+		n := len(la.ops[ops[0]].rhoInst)
+		for _, id := range ops[1:] {
+			if len(la.ops[id].rhoInst) < n {
+				n = len(la.ops[id].rhoInst)
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		combinedMax := 0.0
+		for i := 0; i < n; i++ {
+			var sum float64
+			for _, id := range ops {
+				sum += la.ops[id].rhoInst[i]
+			}
+			if sum > combinedMax {
+				combinedMax = sum
+			}
+		}
+		for _, id := range ops {
+			if combinedMax > la.ops[id].rho {
+				la.ops[id].rho = combinedMax
+			}
+		}
+	}
+}
+
+// maxRho returns the highest instance utilization in the analysis.
+func (la *loadAnalysis) maxRho() float64 {
+	m := 0.0
+	for _, a := range la.ops {
+		if a.rho > m {
+			m = a.rho
+		}
+	}
+	return m
+}
+
+// capacityAlpha finds, by bisection, the largest source scale factor alpha
+// at which no instance exceeds the utilization clamp. Join output grows
+// superlinearly with alpha, so a closed form does not exist.
+func (e *planEnv) capacityAlpha() float64 {
+	target := e.cm.MaxRho
+	at := func(alpha float64) float64 {
+		la, err := e.analyze(alpha)
+		if err != nil {
+			return math.Inf(1)
+		}
+		return la.maxRho()
+	}
+	lo, hi := 0.0, 1.0
+	if at(1) <= target {
+		// Not saturated at the offered load: expand upward.
+		for at(hi) <= target && hi < 1e7 {
+			lo = hi
+			hi *= 2
+		}
+		if hi >= 1e7 {
+			return hi // effectively unbounded
+		}
+	}
+	for i := 0; i < 60 && hi-lo > 1e-9*hi; i++ {
+		mid := (lo + hi) / 2
+		if at(mid) <= target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// edgeLatencyMs returns the expected transfer latency of one tuple crossing
+// the edge from up to down: zero when chained, otherwise output-buffer
+// residence plus serialization plus the expected network hop weighted by
+// the fraction of remote instance pairs.
+func (e *planEnv) edgeLatencyMs(edge queryplan.Edge, upWidth int, upType queryplan.DataType, la *loadAnalysis) float64 {
+	if e.groups[edge.From] == e.groups[edge.To] {
+		return 0 // chained: in-process hand-off
+	}
+	bytes := TupleBytes(upWidth, upType)
+	// Serialization happens for every non-chained hand-off (Flink
+	// serializes between task slots even locally). Assume a 2 GHz core.
+	serdeMs := bytes * e.cm.SerdePerByte / 2 / 1000
+
+	// Output-buffer wait: a tuple ships when its channel buffer fills or
+	// the flush timeout expires, whichever comes first; expected residence
+	// is half that interval. Channel rate is the upstream output spread
+	// over the fan-out channels.
+	bufferMs := 0.0
+	if e.cm.BufferFlushMs > 0 {
+		channels := float64(e.plan.Degree(edge.From) * e.plan.Degree(edge.To))
+		if edge.Partitioning == queryplan.PartForward {
+			channels = float64(e.plan.Degree(edge.From))
+		}
+		chanRate := la.ops[edge.From].rates.outRate / channels
+		fillMs := math.Inf(1)
+		if chanRate > 0 {
+			fillMs = e.cm.BufferBytesPerChannel / (chanRate * bytes) * 1000
+		}
+		bufferMs = 0.5 * math.Min(e.cm.BufferFlushMs, fillMs)
+	}
+
+	frac := e.remoteFraction(edge)
+	linkBytesPerMs := e.cluster.LinkGbps * 1e9 / 8 / 1000
+	transferMs := bytes / linkBytesPerMs
+	return bufferMs + serdeMs + frac*(e.cm.HopLatencyMs+transferMs)
+}
+
+// remoteFraction estimates the probability that a tuple crossing the edge
+// changes machines, from the actual instance placements.
+func (e *planEnv) remoteFraction(edge queryplan.Edge) float64 {
+	up := e.plan.Placement[edge.From]
+	down := e.plan.Placement[edge.To]
+	if len(up) == 0 || len(down) == 0 {
+		return 1
+	}
+	if edge.Partitioning == queryplan.PartForward && len(up) == len(down) {
+		remote := 0
+		for i := range up {
+			if up[i] != down[i] {
+				remote++
+			}
+		}
+		return float64(remote) / float64(len(up))
+	}
+	remote := 0
+	for _, u := range up {
+		for _, d := range down {
+			if u != d {
+				remote++
+			}
+		}
+	}
+	return float64(remote) / float64(len(up)*len(down))
+}
+
+// opBreakdown returns the residence-time decomposition of a tuple in the
+// operator's hottest instance: queueing + service + window wait +
+// coordination (network is added by pathLatency from the critical inbound
+// edge).
+func (e *planEnv) opBreakdown(id int, a *opAnalysis) LatencyBreakdown {
+	serviceMs := a.serviceUs / 1000
+	rho := math.Min(a.rho, e.cm.MaxRho)
+	// Queued tuples under bursty arrivals, bounded by the buffer pool.
+	queued := math.Min(e.cm.BurstFactor*rho*rho/(1-rho), e.cm.BufferTuples)
+
+	windowWaitMs := 0.0
+	if a.rates.windowsPerSec > 0 {
+		// Expected wait until the next window emission.
+		windowWaitMs = math.Min(500/a.rates.windowsPerSec, 120000)
+	}
+	return LatencyBreakdown{
+		ServiceMs:    serviceMs,
+		QueueMs:      serviceMs * queued,
+		WindowWaitMs: windowWaitMs,
+		SyncMs:       e.cm.SyncPerInstanceMs * float64(e.plan.Degree(id)),
+	}
+}
+
+// pathLatency returns the end-to-end latency — the longest source→sink path
+// through operator residence times and edge transfer times — along with the
+// per-operator breakdowns (network charged from the critical inbound edge).
+func (e *planEnv) pathLatency(la *loadAnalysis) (float64, map[int]LatencyBreakdown) {
+	acc := make(map[int]float64, len(e.order))
+	breakdowns := make(map[int]LatencyBreakdown, len(e.order))
+	for _, id := range e.order {
+		best, bestEdge := 0.0, 0.0
+		for _, edge := range e.plan.Query.InEdges(id) {
+			upOp := e.plan.Query.Op(edge.From)
+			edgeLat := e.edgeLatencyMs(edge, upOp.TupleWidthOut, upOp.TupleDataType, la)
+			if lat := acc[edge.From] + edgeLat; lat > best {
+				best, bestEdge = lat, edgeLat
+			}
+		}
+		bd := e.opBreakdown(id, la.ops[id])
+		bd.NetworkMs = bestEdge
+		breakdowns[id] = bd
+		acc[id] = best + bd.ServiceMs + bd.QueueMs + bd.WindowWaitMs + bd.SyncMs
+	}
+	sink := e.plan.Query.Sink()
+	if sink == nil {
+		return 0, breakdowns
+	}
+	return acc[sink.ID], breakdowns
+}
+
+// planHash derives a deterministic noise seed from the plan's structure,
+// degrees, placement, cluster and the user seed.
+func planHash(p *queryplan.PQP, c *cluster.Cluster, seed uint64) uint64 {
+	h := fnv.New64a()
+	write := func(s string) { _, _ = h.Write([]byte(s)) }
+	write(p.Query.Template)
+	ids := make([]int, 0, len(p.Query.Ops))
+	for _, o := range p.Query.Ops {
+		ids = append(ids, o.ID)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		o := p.Query.Op(id)
+		write(fmt.Sprintf("|%d:%v:%d:%v:%v", id, o.Type, p.Degree(id), o.Selectivity, o.EventRate))
+		for _, n := range p.Placement[id] {
+			write("@" + n)
+		}
+	}
+	write(fmt.Sprintf("#%v#%d", c.LinkGbps, len(c.Nodes)))
+	return h.Sum64() ^ seed
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

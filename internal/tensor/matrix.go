@@ -1,0 +1,176 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, Data[r*Cols+c]
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("tensor: negative matrix dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFrom builds a matrix from a row slice of rows; all rows must have
+// equal length.
+func NewMatrixFrom(rows [][]float64) *Matrix {
+	r := len(rows)
+	if r == 0 {
+		return NewMatrix(0, 0)
+	}
+	c := len(rows[0])
+	m := NewMatrix(r, c)
+	for i, row := range rows {
+		if len(row) != c {
+			panic(fmt.Sprintf("tensor: ragged rows: row %d has %d cols, want %d", i, len(row), c))
+		}
+		copy(m.Row(i), row)
+	}
+	return m
+}
+
+// At returns the element at (r, c).
+func (m *Matrix) At(r, c int) float64 { return m.Data[r*m.Cols+c] }
+
+// Set writes the element at (r, c).
+func (m *Matrix) Set(r, c int, v float64) { m.Data[r*m.Cols+c] = v }
+
+// Row returns row r as a Vector sharing storage with m.
+func (m *Matrix) Row(r int) Vector { return Vector(m.Data[r*m.Cols : (r+1)*m.Cols]) }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// Zero resets every element to 0 and returns m.
+func (m *Matrix) Zero() *Matrix {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// RandomizeXavier fills m with Xavier/Glorot-uniform values for a layer with
+// fanIn inputs and fanOut outputs.
+func (m *Matrix) RandomizeXavier(rng *RNG, fanIn, fanOut int) *Matrix {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	for i := range m.Data {
+		m.Data[i] = rng.Range(-limit, limit)
+	}
+	return m
+}
+
+// RandomizeHe fills m with He-normal values for ReLU layers with fanIn inputs.
+func (m *Matrix) RandomizeHe(rng *RNG, fanIn int) *Matrix {
+	std := math.Sqrt(2.0 / float64(fanIn))
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64() * std
+	}
+	return m
+}
+
+// MulVec computes out = m · v. out must have length m.Rows and v length
+// m.Cols; out is returned for chaining. out must not alias v.
+func (m *Matrix) MulVec(v, out Vector) Vector {
+	mustSameLen(len(v), m.Cols)
+	mustSameLen(len(out), m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		var s float64
+		for c, x := range row {
+			s += x * v[c]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// MulVecT computes out = mᵀ · v, i.e. out[c] = Σ_r m[r,c]·v[r]. out must have
+// length m.Cols and v length m.Rows. out must not alias v.
+func (m *Matrix) MulVecT(v, out Vector) Vector {
+	mustSameLen(len(v), m.Rows)
+	mustSameLen(len(out), m.Cols)
+	out.Zero()
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		vr := v[r]
+		if vr == 0 {
+			continue
+		}
+		for c, x := range row {
+			out[c] += x * vr
+		}
+	}
+	return out
+}
+
+// AddOuterInPlace performs m += a · (u ⊗ v), the rank-1 update used for
+// gradient accumulation: m[r,c] += a*u[r]*v[c].
+func (m *Matrix) AddOuterInPlace(a float64, u, v Vector) *Matrix {
+	mustSameLen(len(u), m.Rows)
+	mustSameLen(len(v), m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		au := a * u[r]
+		if au == 0 {
+			continue
+		}
+		row := m.Data[r*m.Cols : (r+1)*m.Cols]
+		for c := range row {
+			row[c] += au * v[c]
+		}
+	}
+	return m
+}
+
+// AddInPlace adds w element-wise into m. Shapes must match.
+func (m *Matrix) AddInPlace(w *Matrix) *Matrix {
+	m.mustSameShape(w)
+	for i := range m.Data {
+		m.Data[i] += w.Data[i]
+	}
+	return m
+}
+
+// ScaleInPlace multiplies every element by a.
+func (m *Matrix) ScaleInPlace(a float64) *Matrix {
+	for i := range m.Data {
+		m.Data[i] *= a
+	}
+	return m
+}
+
+// FrobeniusNorm returns sqrt(Σ m[i]²).
+func (m *Matrix) FrobeniusNorm() float64 {
+	var s float64
+	for _, x := range m.Data {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// HasNaN reports whether any element is NaN or ±Inf.
+func (m *Matrix) HasNaN() bool {
+	for _, x := range m.Data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+func (m *Matrix) mustSameShape(w *Matrix) {
+	if m.Rows != w.Rows || m.Cols != w.Cols {
+		panic(fmt.Sprintf("tensor: shape mismatch %dx%d vs %dx%d", m.Rows, m.Cols, w.Rows, w.Cols))
+	}
+}

@@ -1,0 +1,181 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiverge(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("adjacent seeds produced %d identical draws", same)
+	}
+}
+
+func TestRNGZeroSeed(t *testing.T) {
+	r := NewRNG(0)
+	if r.Uint64() == 0 && r.Uint64() == 0 {
+		t.Fatal("zero seed stuck at zero state")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 10000; i++ {
+		x := r.Float64()
+		if x < 0 || x >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", x)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean %v too far from 0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(13)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("Intn(7) only produced %d distinct values", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 1000; i++ {
+		x := r.Range(-3, 5)
+		if x < -3 || x >= 5 {
+			t.Fatalf("Range(-3,5) = %v out of range", x)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(19)
+	const n = 100000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := r.NormFloat64()
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean %v too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance %v too far from 1", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRNG(23)
+	for i := 0; i < 1000; i++ {
+		if x := r.LogNormal(0, 0.5); x <= 0 {
+			t.Fatalf("LogNormal produced non-positive %v", x)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(29)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	r := NewRNG(31)
+	idx := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	r.Shuffle(idx)
+	for _, v := range idx {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle changed elements: %v", idx)
+	}
+}
+
+func TestPick(t *testing.T) {
+	r := NewRNG(37)
+	vals := []string{"a", "b", "c"}
+	counts := map[string]int{}
+	for i := 0; i < 3000; i++ {
+		counts[Pick(r, vals)]++
+	}
+	for _, v := range vals {
+		if counts[v] < 500 {
+			t.Fatalf("Pick heavily skewed: %v", counts)
+		}
+	}
+}
+
+func TestPickPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pick on empty slice did not panic")
+		}
+	}()
+	Pick(NewRNG(1), []int{})
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := NewRNG(41)
+	child := parent.Split()
+	// Drawing from the child must not equal drawing from a fresh parent copy.
+	fresh := NewRNG(41)
+	fresh.Uint64() // consume the draw Split used
+	if child.Uint64() == fresh.Uint64() {
+		t.Fatal("Split stream identical to parent stream")
+	}
+}

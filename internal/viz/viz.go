@@ -1,0 +1,218 @@
+// Package viz renders small ASCII charts for the experiment results — the
+// paper's artifacts are plots, and a quick terminal rendering of a sweep or
+// a training curve beats scanning a table for trends. Pure text, no
+// dependencies; width-bounded so output fits logs.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one named line in a chart.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker rune // defaults assigned per series when 0
+}
+
+// Options controls chart geometry.
+type Options struct {
+	Width  int // plot columns (default 64)
+	Height int // plot rows (default 16)
+	// LogX plots x on a log10 axis (useful for event-rate sweeps).
+	LogX bool
+	// YLabel / XLabel annotate the axes.
+	YLabel, XLabel string
+	// Title renders above the chart.
+	Title string
+}
+
+var defaultMarkers = []rune{'*', 'o', '+', 'x', '#', '@'}
+
+// Line renders one or more series as an ASCII line chart.
+func Line(series []Series, opts Options) string {
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 64
+	}
+	if h <= 0 {
+		h = 16
+	}
+
+	// Collect ranges.
+	xMin, xMax := math.Inf(1), math.Inf(-1)
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if opts.LogX {
+			return math.Log10(math.Max(x, 1e-12))
+		}
+		return x
+	}
+	valid := false
+	for _, s := range series {
+		for i := range s.X {
+			if i >= len(s.Y) || math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+				continue
+			}
+			valid = true
+			xMin = math.Min(xMin, tx(s.X[i]))
+			xMax = math.Max(xMax, tx(s.X[i]))
+			yMin = math.Min(yMin, s.Y[i])
+			yMax = math.Max(yMax, s.Y[i])
+		}
+	}
+	if !valid {
+		return "(no data)\n"
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	plot := func(x, y float64, m rune) {
+		col := int(math.Round((tx(x) - xMin) / (xMax - xMin) * float64(w-1)))
+		row := h - 1 - int(math.Round((y-yMin)/(yMax-yMin)*float64(h-1)))
+		if col >= 0 && col < w && row >= 0 && row < h {
+			grid[row][col] = m
+		}
+	}
+	for si, s := range series {
+		m := s.Marker
+		if m == 0 {
+			m = defaultMarkers[si%len(defaultMarkers)]
+		}
+		// Sort points by x for stable interpolation.
+		type pt struct{ x, y float64 }
+		pts := make([]pt, 0, len(s.X))
+		for i := range s.X {
+			if i < len(s.Y) && !math.IsNaN(s.Y[i]) && !math.IsInf(s.Y[i], 0) {
+				pts = append(pts, pt{s.X[i], s.Y[i]})
+			}
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+		for _, p := range pts {
+			plot(p.x, p.y, m)
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	yTop := formatTick(yMax)
+	yBot := formatTick(yMin)
+	labelW := len(yTop)
+	if len(yBot) > labelW {
+		labelW = len(yBot)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = pad(yTop, labelW)
+		} else if r == h-1 {
+			label = pad(yBot, labelW)
+		} else if r == h/2 {
+			label = pad(formatTick((yMax+yMin)/2), labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+	xl := formatTick(invTx(xMin, opts.LogX))
+	xr := formatTick(invTx(xMax, opts.LogX))
+	gap := w - len(xl) - len(xr)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xl, strings.Repeat(" ", gap), xr)
+	if opts.XLabel != "" || opts.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), opts.XLabel, opts.YLabel)
+	}
+	// Legend for multiple series.
+	if len(series) > 1 {
+		b.WriteString(strings.Repeat(" ", labelW) + "  ")
+		for si, s := range series {
+			m := s.Marker
+			if m == 0 {
+				m = defaultMarkers[si%len(defaultMarkers)]
+			}
+			fmt.Fprintf(&b, "%c=%s  ", m, s.Name)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func invTx(x float64, logX bool) float64 {
+	if logX {
+		return math.Pow(10, x)
+	}
+	return x
+}
+
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	case av >= 10:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// Bars renders a simple horizontal bar chart for labelled values.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if len(labels) == 0 || len(labels) != len(values) {
+		return "(no data)\n"
+	}
+	if width <= 0 {
+		width = 48
+	}
+	maxV := math.Inf(-1)
+	labelW := 0
+	for i, l := range labels {
+		if len(l) > labelW {
+			labelW = len(l)
+		}
+		if values[i] > maxV {
+			maxV = values[i]
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	var b strings.Builder
+	if title != "" {
+		fmt.Fprintf(&b, "%s\n", title)
+	}
+	for i, l := range labels {
+		n := int(math.Round(values[i] / maxV * float64(width)))
+		if n < 0 {
+			n = 0
+		}
+		fmt.Fprintf(&b, "%s |%s %.2f\n", pad(l, labelW), strings.Repeat("█", n), values[i])
+	}
+	return b.String()
+}

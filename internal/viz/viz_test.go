@@ -1,0 +1,99 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLineBasic(t *testing.T) {
+	s := Line([]Series{{
+		Name: "a",
+		X:    []float64{1, 2, 3, 4},
+		Y:    []float64{1, 2, 3, 4},
+	}}, Options{Width: 20, Height: 5, Title: "demo", XLabel: "x", YLabel: "y"})
+	if !strings.Contains(s, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(s, "*") {
+		t.Fatal("missing markers")
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	// title + 5 rows + axis + ticks + labels
+	if len(lines) < 8 {
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), s)
+	}
+	// Monotone series: the first plotted row (top) should contain a marker
+	// to the right of the bottom row's marker.
+	top := strings.IndexRune(lines[1], '*')
+	bottom := strings.IndexRune(lines[5], '*')
+	if top <= bottom {
+		t.Fatalf("monotone series not rendered increasing: top %d bottom %d\n%s", top, bottom, s)
+	}
+}
+
+func TestLineMultipleSeriesLegend(t *testing.T) {
+	s := Line([]Series{
+		{Name: "one", X: []float64{1, 2}, Y: []float64{1, 2}},
+		{Name: "two", X: []float64{1, 2}, Y: []float64{2, 1}},
+	}, Options{Width: 16, Height: 4})
+	if !strings.Contains(s, "*=one") || !strings.Contains(s, "o=two") {
+		t.Fatalf("legend missing:\n%s", s)
+	}
+}
+
+func TestLineLogX(t *testing.T) {
+	s := Line([]Series{{
+		Name: "rates",
+		X:    []float64{100, 1000, 10000, 100000},
+		Y:    []float64{1, 1.2, 1.4, 1.6},
+	}}, Options{Width: 40, Height: 6, LogX: true})
+	if !strings.Contains(s, "100.0k") {
+		t.Fatalf("log axis ticks missing:\n%s", s)
+	}
+}
+
+func TestLineHandlesDegenerates(t *testing.T) {
+	if s := Line(nil, Options{}); !strings.Contains(s, "no data") {
+		t.Fatal("empty input not handled")
+	}
+	// All-NaN series.
+	s := Line([]Series{{Name: "n", X: []float64{1}, Y: []float64{math.NaN()}}}, Options{})
+	if !strings.Contains(s, "no data") {
+		t.Fatal("NaN-only series not handled")
+	}
+	// Constant series must not divide by zero.
+	s = Line([]Series{{Name: "c", X: []float64{1, 2}, Y: []float64{5, 5}}}, Options{Width: 10, Height: 3})
+	if !strings.Contains(s, "*") {
+		t.Fatalf("constant series not rendered:\n%s", s)
+	}
+}
+
+func TestBars(t *testing.T) {
+	s := Bars("speedups", []string{"linear", "2-way"}, []float64{3.5, 9.1}, 20)
+	if !strings.Contains(s, "speedups") || !strings.Contains(s, "linear") {
+		t.Fatalf("bars missing content:\n%s", s)
+	}
+	// Larger value → longer bar.
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if strings.Count(lines[2], "█") <= strings.Count(lines[1], "█") {
+		t.Fatalf("bar lengths not proportional:\n%s", s)
+	}
+	if !strings.Contains(Bars("", nil, nil, 10), "no data") {
+		t.Fatal("empty bars not handled")
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		2_500_000: "2.5M",
+		12_000:    "12.0k",
+		42:        "42",
+		1.234:     "1.23",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

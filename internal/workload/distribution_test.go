@@ -1,0 +1,158 @@
+package workload
+
+import (
+	"testing"
+
+	"zerotune/internal/queryplan"
+)
+
+// Distribution tests: generated workloads must stay inside the Table III
+// grids they claim to sample from.
+
+func ratesSet(rs []float64) map[float64]bool {
+	m := make(map[float64]bool, len(rs))
+	for _, r := range rs {
+		m[r] = true
+	}
+	return m
+}
+
+func TestGeneratedParametersWithinSeenGrid(t *testing.T) {
+	gen := NewSeenGenerator(77)
+	items, err := gen.Generate(SeenRanges().Structures, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates := ratesSet(SeenRanges().EventRates)
+	widths := map[int]bool{}
+	for _, w := range SeenRanges().TupleWidths {
+		widths[w] = true
+	}
+	countLens := ratesSet(SeenRanges().WindowLengths)
+	timeLens := ratesSet(SeenRanges().WindowDurations)
+	workers := map[int]bool{}
+	for _, w := range SeenRanges().Workers {
+		workers[w] = true
+	}
+
+	for _, it := range items {
+		if !workers[len(it.Cluster.Nodes)] {
+			t.Fatalf("worker count %d outside grid", len(it.Cluster.Nodes))
+		}
+		if it.Cluster.LinkGbps != 1 && it.Cluster.LinkGbps != 10 {
+			t.Fatalf("link speed %v outside grid", it.Cluster.LinkGbps)
+		}
+		for _, o := range it.Plan.Query.Ops {
+			switch o.Type {
+			case queryplan.OpSource:
+				if !rates[o.EventRate] {
+					t.Fatalf("event rate %v outside grid", o.EventRate)
+				}
+				if !widths[o.TupleWidthOut] {
+					t.Fatalf("tuple width %d outside grid", o.TupleWidthOut)
+				}
+			case queryplan.OpFilter:
+				if o.Selectivity < 0.05 || o.Selectivity > 0.95 {
+					t.Fatalf("filter selectivity %v outside range", o.Selectivity)
+				}
+			case queryplan.OpAggregate:
+				if o.WindowPolicy == queryplan.PolicyCount && !countLens[o.WindowLength] {
+					t.Fatalf("count window length %v outside grid", o.WindowLength)
+				}
+				if o.WindowPolicy == queryplan.PolicyTime && !timeLens[o.WindowLength] {
+					t.Fatalf("window duration %v outside grid", o.WindowLength)
+				}
+				if o.WindowType == queryplan.WindowSliding {
+					ratio := o.SlidingLength / o.WindowLength
+					if ratio < 0.25 || ratio > 0.75 {
+						t.Fatalf("slide ratio %v outside grid", ratio)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratedStructuresBalanced(t *testing.T) {
+	gen := NewSeenGenerator(79)
+	items, err := gen.Generate(SeenRanges().Structures, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, it := range items {
+		counts[it.Plan.Query.Template]++
+	}
+	for _, tpl := range SeenRanges().Structures {
+		if counts[tpl] < 60 { // expect ~100 each; allow wide slack
+			t.Fatalf("structure %s undersampled: %v", tpl, counts)
+		}
+	}
+}
+
+func TestGeneratedWindowPoliciesBothPresent(t *testing.T) {
+	gen := NewSeenGenerator(81)
+	items, err := gen.Generate([]string{"linear"}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, timed := 0, 0
+	for _, it := range items {
+		for _, o := range it.Plan.Query.Ops {
+			if o.Type == queryplan.OpAggregate {
+				if o.WindowPolicy == queryplan.PolicyCount {
+					count++
+				} else {
+					timed++
+				}
+			}
+		}
+	}
+	if count < 20 || timed < 20 {
+		t.Fatalf("window policy skew: count=%d time=%d", count, timed)
+	}
+}
+
+func TestGeneratedLabelsSpreadOrdersOfMagnitude(t *testing.T) {
+	// The learning problem is only meaningful if labels span a wide range.
+	gen := NewSeenGenerator(83)
+	items, err := gen.Generate(SeenRanges().Structures, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minLat, maxLat := items[0].LatencyMs, items[0].LatencyMs
+	for _, it := range items {
+		if it.LatencyMs < minLat {
+			minLat = it.LatencyMs
+		}
+		if it.LatencyMs > maxLat {
+			maxLat = it.LatencyMs
+		}
+	}
+	if maxLat/minLat < 100 {
+		t.Fatalf("latency labels span only %.1fx (%.3f..%.1f ms)", maxLat/minLat, minLat, maxLat)
+	}
+}
+
+func TestSampleQueryDeterministicPerSeq(t *testing.T) {
+	gen := NewSeenGenerator(85)
+	q1, c1, err := gen.SampleQuery("2-way-join", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, c2, err := gen.SampleQuery("2-way-join", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Sources()[0].EventRate != q2.Sources()[0].EventRate || len(c1.Nodes) != len(c2.Nodes) {
+		t.Fatal("SampleQuery not deterministic for equal seq")
+	}
+	q3, _, err := gen.SampleQuery("2-way-join", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q1.Sources()[0].EventRate == q3.Sources()[0].EventRate &&
+		q1.Ops[len(q1.Ops)-2].WindowLength == q3.Ops[len(q3.Ops)-2].WindowLength {
+		t.Fatal("SampleQuery seq does not decorrelate draws")
+	}
+}

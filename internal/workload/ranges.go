@@ -1,0 +1,61 @@
+// Package workload generates the training and evaluation workloads of the
+// paper: synthetic queries drawn from the Table III parameter grids
+// (seen/unseen ranges, including the extrapolation values), the public
+// benchmark queries, and the labelled datasets produced by running every
+// generated plan through the simulator.
+package workload
+
+import "zerotune/internal/queryplan"
+
+// Ranges mirrors Table III: the seen (training) and unseen (testing)
+// parameter grids.
+type Ranges struct {
+	EventRates      []float64
+	TupleWidths     []int
+	DataTypes       []queryplan.DataType
+	WindowLengths   []float64 // tuples, count-based windows
+	WindowDurations []float64 // milliseconds, time-based windows
+	SlideRatios     []float64 // × window length
+	LinkGbps        []float64
+	Workers         []int
+	Structures      []string
+}
+
+// SeenRanges returns the training grid of Table III.
+func SeenRanges() Ranges {
+	return Ranges{
+		EventRates: []float64{100, 200, 400, 500, 700, 1_000, 2_000, 3_000, 5_000,
+			10_000, 20_000, 50_000, 100_000, 250_000, 500_000, 1_000_000},
+		TupleWidths:     []int{1, 2, 3, 4, 5},
+		DataTypes:       []queryplan.DataType{queryplan.TypeString, queryplan.TypeDouble, queryplan.TypeInt},
+		WindowLengths:   []float64{5, 10, 25, 50, 75, 100},
+		WindowDurations: []float64{250, 500, 1_000, 2_000, 3_000},
+		SlideRatios:     []float64{0.3, 0.4, 0.5, 0.6, 0.7},
+		LinkGbps:        []float64{1, 10},
+		Workers:         []int{2, 4, 6},
+		Structures:      []string{"linear", "2-way-join", "3-way-join"},
+	}
+}
+
+// UnseenRanges returns the testing grid of Table III (interpolation and
+// extrapolation values).
+func UnseenRanges() Ranges {
+	return Ranges{
+		EventRates: []float64{50, 75, 150, 300, 450, 600, 850, 1_500, 4_000, 7_500,
+			15_000, 35_000, 175_000, 375_000, 750_000, 1_500_000, 2_000_000, 3_000_000, 4_000_000},
+		TupleWidths:     []int{6, 7, 8, 9, 10, 11, 12, 13, 14, 15},
+		DataTypes:       []queryplan.DataType{queryplan.TypeString, queryplan.TypeDouble, queryplan.TypeInt},
+		WindowLengths:   []float64{2, 3, 4, 7, 17, 37, 62, 82, 150, 200, 250, 300, 350, 400},
+		WindowDurations: []float64{50, 100, 150, 200, 325, 750, 1_500, 2_500, 4_000, 5_000, 6_000, 7_000, 8_000, 9_000, 10_000},
+		SlideRatios:     []float64{0.3, 0.4, 0.5, 0.6, 0.7},
+		LinkGbps:        []float64{1, 10},
+		Workers:         []int{3, 8, 10},
+		Structures: []string{"2-chained-filters", "3-chained-filters", "4-chained-filters",
+			"4-way-join", "5-way-join", "6-way-join"},
+	}
+}
+
+// BenchmarkStructures lists the public benchmark queries (Table III).
+func BenchmarkStructures() []string {
+	return []string{"spike-detection", "smart-grid-local", "smart-grid-global"}
+}

@@ -1,0 +1,257 @@
+package workload
+
+import (
+	"testing"
+
+	"zerotune/internal/features"
+	"zerotune/internal/queryplan"
+)
+
+func TestRangesMatchTable3(t *testing.T) {
+	seen, unseen := SeenRanges(), UnseenRanges()
+	if len(seen.EventRates) != 16 {
+		t.Fatalf("%d seen event rates, want 16", len(seen.EventRates))
+	}
+	if len(unseen.EventRates) != 19 {
+		t.Fatalf("%d unseen event rates, want 19", len(unseen.EventRates))
+	}
+	if seen.TupleWidths[0] != 1 || seen.TupleWidths[len(seen.TupleWidths)-1] != 5 {
+		t.Fatal("seen tuple widths must be 1..5")
+	}
+	if unseen.TupleWidths[0] != 6 || unseen.TupleWidths[len(unseen.TupleWidths)-1] != 15 {
+		t.Fatal("unseen tuple widths must be 6..15")
+	}
+	if len(seen.Structures) != 3 || len(unseen.Structures) != 6 {
+		t.Fatal("structure lists wrong")
+	}
+	if len(BenchmarkStructures()) != 3 {
+		t.Fatal("benchmark list wrong")
+	}
+	// Max unseen rate is the 4M extrapolation point.
+	if unseen.EventRates[len(unseen.EventRates)-1] != 4_000_000 {
+		t.Fatal("missing 4M extrapolation rate")
+	}
+}
+
+func TestGenerateSeenWorkload(t *testing.T) {
+	g := NewSeenGenerator(1)
+	items, err := g.Generate(SeenRanges().Structures, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 20 {
+		t.Fatalf("%d items", len(items))
+	}
+	templates := map[string]bool{}
+	for _, it := range items {
+		if it.LatencyMs <= 0 || it.ThroughputEPS <= 0 {
+			t.Fatalf("bad labels: %+v", it)
+		}
+		if it.Graph == nil || it.Graph.LatencyMs != it.LatencyMs {
+			t.Fatal("graph labels not set")
+		}
+		if err := it.Plan.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		templates[it.Plan.Query.Template] = true
+	}
+	if len(templates) < 2 {
+		t.Fatalf("no structural variety: %v", templates)
+	}
+}
+
+func TestGenerateUnseenStructures(t *testing.T) {
+	g := NewUnseenGenerator(2)
+	items, err := g.Generate([]string{"4-way-join", "3-chained-filters"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		tpl := it.Plan.Query.Template
+		if tpl != "4-way-join" && tpl != "3-chained-filters" {
+			t.Fatalf("unexpected template %q", tpl)
+		}
+	}
+}
+
+func TestGenerateBenchmarks(t *testing.T) {
+	g := NewUnseenGenerator(3)
+	items, err := g.Generate(BenchmarkStructures(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		if it.Plan.Query.Sink() == nil {
+			t.Fatal("benchmark without sink")
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := NewSeenGenerator(7).Generate([]string{"linear"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSeenGenerator(7).Generate([]string{"linear"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].LatencyMs != b[i].LatencyMs || a[i].ThroughputEPS != b[i].ThroughputEPS {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGenerateRejectsBadInput(t *testing.T) {
+	g := NewSeenGenerator(1)
+	if _, err := g.Generate(nil, 5); err == nil {
+		t.Fatal("accepted empty structures")
+	}
+	if _, err := g.Generate([]string{"linear"}, 0); err == nil {
+		t.Fatal("accepted zero count")
+	}
+	if _, err := g.Generate([]string{"bogus"}, 1); err == nil {
+		t.Fatal("accepted unknown structure")
+	}
+}
+
+func TestOverridesPinParameters(t *testing.T) {
+	g := NewSeenGenerator(4)
+	items, err := g.GenerateWith([]string{"linear"}, 6, Overrides{EventRate: 12345, TupleWidth: 9, Workers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		src := it.Plan.Query.Sources()[0]
+		if src.EventRate != 12345 {
+			t.Fatalf("event rate %v not pinned", src.EventRate)
+		}
+		if src.TupleWidthOut != 9 {
+			t.Fatalf("tuple width %d not pinned", src.TupleWidthOut)
+		}
+		if len(it.Cluster.Nodes) != 3 {
+			t.Fatalf("workers %d not pinned", len(it.Cluster.Nodes))
+		}
+	}
+}
+
+func TestOverridesWindowPolicy(t *testing.T) {
+	g := NewSeenGenerator(5)
+	count, err := g.GenerateWith([]string{"linear"}, 4, Overrides{WindowLength: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range count {
+		for _, o := range it.Plan.Query.Ops {
+			if o.IsWindowed() {
+				if o.WindowPolicy != queryplan.PolicyCount || o.WindowLength != 42 {
+					t.Fatalf("count override ignored: %+v", o)
+				}
+			}
+		}
+	}
+	timed, err := g.GenerateWith([]string{"linear"}, 4, Overrides{WindowDurationMs: 750})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range timed {
+		for _, o := range it.Plan.Query.Ops {
+			if o.IsWindowed() {
+				if o.WindowPolicy != queryplan.PolicyTime || o.WindowLength != 750 {
+					t.Fatalf("time override ignored: %+v", o)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	g := NewSeenGenerator(6)
+	items, err := g.Generate([]string{"linear"}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Split(items, 0.8, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 40 || len(ds.Val) != 5 || len(ds.Test) != 5 {
+		t.Fatalf("split %d/%d/%d", len(ds.Train), len(ds.Val), len(ds.Test))
+	}
+	// No overlap and full coverage.
+	seen := map[*Item]bool{}
+	for _, s := range [][]*Item{ds.Train, ds.Val, ds.Test} {
+		for _, it := range s {
+			if seen[it] {
+				t.Fatal("item in two splits")
+			}
+			seen[it] = true
+		}
+	}
+	if len(seen) != 50 {
+		t.Fatalf("split lost items: %d", len(seen))
+	}
+}
+
+func TestSplitRejectsBadFractions(t *testing.T) {
+	items := []*Item{{}}
+	if _, err := Split(nil, 0.8, 0.1, 1); err == nil {
+		t.Fatal("accepted empty items")
+	}
+	if _, err := Split(items, 0.9, 0.2, 1); err == nil {
+		t.Fatal("accepted fractions > 1")
+	}
+	if _, err := Split(items, 0, 0.1, 1); err == nil {
+		t.Fatal("accepted zero train fraction")
+	}
+}
+
+func TestGraphsExtraction(t *testing.T) {
+	g := NewSeenGenerator(8)
+	items, _ := g.Generate([]string{"linear"}, 3)
+	gs := Graphs(items)
+	if len(gs) != 3 || gs[0] != items[0].Graph {
+		t.Fatal("Graphs extraction wrong")
+	}
+}
+
+func TestReencodeWithMask(t *testing.T) {
+	g := NewSeenGenerator(9)
+	items, _ := g.Generate([]string{"linear"}, 3)
+	masked, err := Reencode(items, features.MaskOperatorOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range masked {
+		if it.Graph == items[i].Graph {
+			t.Fatal("reencode returned original graph")
+		}
+		if it.Graph.LatencyMs != items[i].LatencyMs {
+			t.Fatal("labels lost during reencode")
+		}
+		// Parallelism features must be blanked.
+		for _, n := range it.Graph.OpNodes {
+			if n.Feat[features.FeatDegree] != 0 {
+				t.Fatal("mask not applied")
+			}
+		}
+	}
+}
+
+func TestJoinSelectivitySane(t *testing.T) {
+	g := NewSeenGenerator(10)
+	items, err := g.Generate([]string{"2-way-join"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, it := range items {
+		for _, o := range it.Plan.Query.Ops {
+			if o.Type == queryplan.OpJoin {
+				if o.Selectivity <= 0 || o.Selectivity > 0.01 {
+					t.Fatalf("join selectivity %v outside (0, 0.01]", o.Selectivity)
+				}
+			}
+		}
+	}
+}
