@@ -16,6 +16,9 @@ import (
 	"testing"
 
 	"zerotune/internal/experiments"
+	"zerotune/internal/gnn"
+	"zerotune/internal/tensor"
+	"zerotune/internal/workload"
 )
 
 var (
@@ -49,6 +52,31 @@ func benchLab(b *testing.B) *experiments.Lab {
 func report(b *testing.B, res fmt.Stringer) {
 	b.Helper()
 	b.Log("\n" + res.String())
+}
+
+// BenchmarkTrainThroughput measures end-to-end training throughput of the
+// data-parallel gnn.Train loop in graphs/sec (forward+backward+step over the
+// whole corpus, epochs included). Worker fan-out follows ZEROTUNE_WORKERS /
+// GOMAXPROCS; the loss trajectory is identical for any worker count.
+func BenchmarkTrainThroughput(b *testing.B) {
+	gen := workload.NewSeenGenerator(1)
+	items, err := gen.Generate(workload.SeenRanges().Structures, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphs := workload.Graphs(items)
+	cfg := gnn.DefaultTrainConfig()
+	cfg.Epochs = 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model := gnn.New(tensor.NewRNG(1), gnn.Config{Hidden: 32, EncDepth: 1, HeadHidden: 32})
+		if _, err := gnn.Train(model, graphs, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*cfg.Epochs*len(graphs))/b.Elapsed().Seconds(), "graphs/sec")
 }
 
 // BenchmarkFig3Microbenchmark regenerates Fig. 3: latency and throughput vs

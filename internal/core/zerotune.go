@@ -15,6 +15,7 @@ import (
 	"zerotune/internal/gnn"
 	"zerotune/internal/metrics"
 	"zerotune/internal/optimizer"
+	"zerotune/internal/parallel"
 	"zerotune/internal/queryplan"
 	"zerotune/internal/tensor"
 	"zerotune/internal/workload"
@@ -96,15 +97,66 @@ func (z *ZeroTune) Predict(p *queryplan.PQP, c *cluster.Cluster) (gnn.Prediction
 	return z.Model.Predict(g), nil
 }
 
-// Estimator adapts the model to the optimizer's CostEstimator interface.
-func (z *ZeroTune) Estimator() optimizer.CostEstimator {
-	return optimizer.EstimatorFunc(func(p *queryplan.PQP, c *cluster.Cluster) (optimizer.Estimate, error) {
-		pred, err := z.Predict(p, c)
-		if err != nil {
-			return optimizer.Estimate{}, err
+// PredictBatch estimates costs for many plans on the same cluster, encoding
+// the plans and fanning the model's forward passes across the worker pool
+// (ZEROTUNE_WORKERS or GOMAXPROCS). Results match per-plan Predict calls in
+// order and value for any worker count.
+func (z *ZeroTune) PredictBatch(ps []*queryplan.PQP, c *cluster.Cluster) ([]gnn.Prediction, error) {
+	graphs := make([]*features.Graph, len(ps))
+	workers := parallel.Workers()
+	// Placement mutates the plan, so it stays on the caller's goroutine;
+	// encoding is pure per plan and fans out.
+	for _, p := range ps {
+		if len(p.Placement) != len(p.Query.Ops) {
+			if err := cluster.Place(p, c); err != nil {
+				return nil, err
+			}
 		}
-		return optimizer.Estimate{LatencyMs: pred.LatencyMs, ThroughputEPS: pred.ThroughputEPS}, nil
-	})
+	}
+	if err := parallel.ForErr(len(ps), workers, func(i int) error {
+		g, err := features.Encode(ps[i], c, z.Mask)
+		if err != nil {
+			return err
+		}
+		graphs[i] = g
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return z.Model.PredictBatch(graphs, workers), nil
+}
+
+// modelEstimator adapts the model to the optimizer's estimator interfaces,
+// including the batch fan-out used for candidate-plan sweeps.
+type modelEstimator struct{ z *ZeroTune }
+
+// Estimate implements optimizer.CostEstimator.
+func (e modelEstimator) Estimate(p *queryplan.PQP, c *cluster.Cluster) (optimizer.Estimate, error) {
+	pred, err := e.z.Predict(p, c)
+	if err != nil {
+		return optimizer.Estimate{}, err
+	}
+	return optimizer.Estimate{LatencyMs: pred.LatencyMs, ThroughputEPS: pred.ThroughputEPS}, nil
+}
+
+// EstimateBatch implements optimizer.BatchCostEstimator.
+func (e modelEstimator) EstimateBatch(ps []*queryplan.PQP, c *cluster.Cluster) ([]optimizer.Estimate, error) {
+	preds, err := e.z.PredictBatch(ps, c)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]optimizer.Estimate, len(preds))
+	for i, p := range preds {
+		out[i] = optimizer.Estimate{LatencyMs: p.LatencyMs, ThroughputEPS: p.ThroughputEPS}
+	}
+	return out, nil
+}
+
+// Estimator adapts the model to the optimizer's CostEstimator interface.
+// The returned estimator also implements optimizer.BatchCostEstimator, so
+// Tune scores its whole candidate set in one parallel batch.
+func (z *ZeroTune) Estimator() optimizer.CostEstimator {
+	return modelEstimator{z: z}
 }
 
 // Tune selects parallelism degrees for q on c by minimizing the model's

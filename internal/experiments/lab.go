@@ -44,6 +44,10 @@ type Config struct {
 	TuneQueriesPerType int
 	// Seed drives all sampling.
 	Seed uint64
+	// Workers caps the data-parallel fan-out of corpus generation and model
+	// training (0 resolves via parallel.Workers: the ZEROTUNE_WORKERS
+	// override or GOMAXPROCS). Results are identical for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the scaled-down configuration used by the bench
@@ -116,6 +120,7 @@ func (l *Lab) datasetLocked() (*workload.Dataset, error) {
 		return l.ds, nil
 	}
 	gen := workload.NewSeenGenerator(l.Cfg.Seed)
+	gen.Workers = l.Cfg.Workers
 	items, err := gen.Generate(workload.SeenRanges().Structures, l.Cfg.TrainQueries)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generate corpus: %w", err)
@@ -146,6 +151,7 @@ func (l *Lab) zerotuneLocked() (*core.ZeroTune, error) {
 	opts := core.DefaultTrainOptions()
 	opts.Model = gnn.Config{Hidden: l.Cfg.Hidden, EncDepth: 1, HeadHidden: l.Cfg.Hidden}
 	opts.Train.Epochs = l.Cfg.Epochs
+	opts.Train.Workers = l.Cfg.Workers
 	opts.Seed = l.Cfg.Seed
 	zt, stats, err := core.Train(ds.Train, opts)
 	if err != nil {
@@ -231,6 +237,7 @@ func (l *Lab) UnseenStructures(structure string, n int, seedOffset uint64) ([]*w
 		Strategy:  optisample.Default(),
 		Seed:      l.Cfg.Seed + 1000 + seedOffset,
 		NodeTypes: cluster.SeenTypes(),
+		Workers:   l.Cfg.Workers,
 	}
 	return gen.Generate([]string{structure}, n)
 }

@@ -1,0 +1,47 @@
+package gnn
+
+import (
+	"zerotune/internal/features"
+	"zerotune/internal/nn"
+	"zerotune/internal/parallel"
+)
+
+// PredictBatch predicts every graph, fanning the forward passes across up to
+// workers goroutines (workers <= 0 resolves via parallel.Workers, i.e. the
+// ZEROTUNE_WORKERS override or GOMAXPROCS). Each worker reuses one trace, so
+// large batches run allocation-free after warm-up. Results are identical to
+// calling Predict per graph, regardless of the worker count: forward passes
+// only read the model's weights and each graph writes its own output slot.
+func (m *Model) PredictBatch(graphs []*features.Graph, workers int) []Prediction {
+	out := make([]Prediction, len(graphs))
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	workers = parallel.Clamp(workers, len(graphs))
+	traces := make([]*trace, workers)
+	parallel.ForWorker(len(graphs), workers, func(w, i int) {
+		if traces[w] == nil {
+			traces[w] = &trace{}
+		}
+		out[i] = *m.forwardInto(traces[w], graphs[i])
+	})
+	return out
+}
+
+// evalLoss computes the mean log-space Huber loss on a labelled set without
+// updating the model, fanning forward passes across workers. Per-graph losses
+// land in their own slots and are summed in index order, so the result does
+// not depend on the worker count.
+func evalLoss(m *Model, graphs []*features.Graph, huberDelta float64, workers int) float64 {
+	if len(graphs) == 0 {
+		return 0
+	}
+	preds := m.PredictBatch(graphs, workers)
+	var total float64
+	for i, g := range graphs {
+		latLoss, _ := nn.Huber(preds[i].LogLatency, LogTarget(g.LatencyMs), huberDelta)
+		tptLoss, _ := nn.Huber(preds[i].LogThroughput, LogTarget(g.ThroughputEPS), huberDelta)
+		total += latLoss + tptLoss
+	}
+	return total / float64(len(graphs))
+}

@@ -6,6 +6,7 @@ import (
 
 	"zerotune/internal/features"
 	"zerotune/internal/nn"
+	"zerotune/internal/parallel"
 	"zerotune/internal/tensor"
 )
 
@@ -17,14 +18,9 @@ import (
 // Embed runs the frozen graph passes and returns the pooled state
 // [sink ‖ mean of per-operator states] that read-out heads consume.
 func (m *Model) Embed(g *features.Graph) tensor.Vector {
-	_, tr := m.forward(g)
-	h := m.Cfg.Hidden
-	n := len(g.OpNodes)
-	mean := tensor.NewVector(h)
-	for i := 0; i < n; i++ {
-		mean.AxpyInPlace(1/float64(n), tr.combineMap[i].Output())
-	}
-	return tensor.Concat(tr.combineMap[g.SinkIdx].Output(), mean)
+	tr := &trace{}
+	m.forwardInto(tr, g)
+	return tr.pooled.Clone()
 }
 
 // MetricHead is a read-out for one additional cost metric, regressing
@@ -46,11 +42,22 @@ func FineTuneMetricHead(m *Model, name string, graphs []*features.Graph, targets
 		return nil, fmt.Errorf("gnn: invalid metric train config %+v", cfg)
 	}
 	// Precompute embeddings once: the encoder is frozen, so they never
-	// change during head training.
+	// change during head training. The passes are read-only on the model,
+	// so they fan out across workers with one reusable trace each.
 	emb := make([]tensor.Vector, len(graphs))
-	for i, g := range graphs {
-		emb[i] = m.Embed(g)
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = parallel.Workers()
 	}
+	workers = parallel.Clamp(workers, len(graphs))
+	traces := make([]*trace, workers)
+	parallel.ForWorker(len(graphs), workers, func(w, i int) {
+		if traces[w] == nil {
+			traces[w] = &trace{}
+		}
+		m.forwardInto(traces[w], graphs[i])
+		emb[i] = traces[w].pooled.Clone()
+	})
 	rng := tensor.NewRNG(cfg.Seed ^ 0xC0FFEE)
 	head := nn.NewMLP(rng, []int{2 * m.Cfg.Hidden, m.Cfg.HeadHidden, 1}, nn.LeakyReLU, nn.Identity)
 	opt := nn.NewAdam(cfg.LR)

@@ -159,6 +159,25 @@ func (m *Model) NumParams() int {
 	return n
 }
 
+// ShadowGrads returns a model sharing m's weights with fresh, independent
+// gradient accumulators. Data-parallel training gives each gradient shard a
+// shadow: forward passes read the shared weights concurrently, each shard's
+// backward pass accumulates into its own buffers, and the shards are reduced
+// into the primary model's gradients before the optimizer step.
+func (m *Model) ShadowGrads() *Model {
+	out := &Model{Cfg: m.Cfg, EncOp: make(map[queryplan.OpType]*nn.MLP, len(m.EncOp))}
+	for t, mm := range m.EncOp {
+		out.EncOp[t] = mm.ShadowGrads()
+	}
+	out.EncRes = m.EncRes.ShadowGrads()
+	out.CombineOp = m.CombineOp.ShadowGrads()
+	out.CombineRes = m.CombineRes.ShadowGrads()
+	out.CombineMap = m.CombineMap.ShadowGrads()
+	out.LatHead = m.LatHead.ShadowGrads()
+	out.TptHead = m.TptHead.ShadowGrads()
+	return out
+}
+
 // Prediction is the model output in natural units.
 type Prediction struct {
 	LatencyMs     float64
@@ -168,7 +187,11 @@ type Prediction struct {
 	LogThroughput float64
 }
 
-// trace captures one forward pass for backpropagation.
+// trace captures one forward pass for backpropagation. The zero value is
+// ready for use; forwardInto grows every buffer to the graph's shape and
+// overwrites it in place, so a long-lived trace (one per worker) eliminates
+// per-graph allocation churn in training, inference and batch estimation.
+// A trace serves one graph at a time and is not safe for concurrent use.
 type trace struct {
 	g *features.Graph
 
@@ -181,14 +204,31 @@ type trace struct {
 	combineRes []*nn.Trace
 	hRes       []tensor.Vector
 
-	combineMap []*nn.Trace // per op node
-	resMsg     []tensor.Vector
+	combineMap []*nn.Trace     // per op node
 	mapWeights [][]weightedRes // per op node
 
 	latTraces []*nn.Trace // structured mode: per-op latency contribution head
 	latW      []float64   // structured mode: ∂logLat/∂o_i (softmax of contributions)
+	lat       []float64   // structured mode: per-op contributions o_i
 	latTrace  *nn.Trace   // sink mode: latency head on [sink ‖ mean op states]
 	tptTrace  *nn.Trace   // throughput head on [sink ‖ mean op states]
+
+	// Forward scratch (transient within one pass).
+	concat         tensor.Vector // 2h concat input, copied by ForwardInto
+	agg            tensor.Vector // h: upstream aggregation / mapping message
+	encSum         tensor.Vector // h: sum of resource encodings
+	others         tensor.Vector // h: mean of the other resource encodings
+	meanState      tensor.Vector // h: mean pooling over per-op states
+	pooled         tensor.Vector // 2h: [sink ‖ mean op states]
+	totalInstances []float64     // per op node
+
+	// Backward scratch.
+	dHOp       []tensor.Vector
+	dHRes      []tensor.Vector
+	dEncRes    []tensor.Vector
+	dSinkState tensor.Vector
+	dMeanState tensor.Vector
+	dState     tensor.Vector
 }
 
 type weightedRes struct {
@@ -196,21 +236,119 @@ type weightedRes struct {
 	weight float64
 }
 
-// Forward runs the three-stage message passing and returns the prediction
-// with the trace needed for Backward.
+// ensure grows the trace's per-node buffers for a graph with n operator
+// nodes and r resource nodes under hidden width h.
+func (tr *trace) ensure(n, r, h int) {
+	tr.encOp = growTraces(tr.encOp, n)
+	tr.combineOp = growTraces(tr.combineOp, n)
+	tr.upstreams = growIntSlices(tr.upstreams, n)
+	tr.hOp = growSlots(tr.hOp, n)
+	tr.encRes = growTraces(tr.encRes, r)
+	tr.combineRes = growTraces(tr.combineRes, r)
+	tr.hRes = growSlots(tr.hRes, r)
+	tr.combineMap = growTraces(tr.combineMap, n)
+	tr.mapWeights = growWeightSlices(tr.mapWeights, n)
+	tr.latTraces = growTraces(tr.latTraces, n)
+	tr.latW = growFloats(tr.latW, n)
+	tr.lat = growFloats(tr.lat, n)
+	tr.totalInstances = growFloats(tr.totalInstances, n)
+	tr.concat = ensureVec(tr.concat, 2*h)
+	tr.agg = ensureVec(tr.agg, h)
+	tr.encSum = ensureVec(tr.encSum, h)
+	tr.others = ensureVec(tr.others, h)
+	tr.meanState = ensureVec(tr.meanState, h)
+	tr.pooled = ensureVec(tr.pooled, 2*h)
+}
+
+// concat2 writes [a ‖ b] into the trace's concat buffer. The result is only
+// valid until the next concat2 call; ForwardInto copies its input, so the
+// buffer can feed every combine network in turn.
+func (tr *trace) concat2(a, b tensor.Vector) tensor.Vector {
+	buf := tr.concat[:len(a)+len(b)]
+	copy(buf, a)
+	copy(buf[len(a):], b)
+	return buf
+}
+
+func growTraces(ts []*nn.Trace, n int) []*nn.Trace {
+	for len(ts) < n {
+		ts = append(ts, nil)
+	}
+	return ts[:n]
+}
+
+func growSlots(vs []tensor.Vector, n int) []tensor.Vector {
+	for len(vs) < n {
+		vs = append(vs, nil)
+	}
+	return vs[:n]
+}
+
+func growIntSlices(ss [][]int, n int) [][]int {
+	for len(ss) < n {
+		ss = append(ss, nil)
+	}
+	ss = ss[:n]
+	for i := range ss {
+		ss[i] = ss[i][:0]
+	}
+	return ss
+}
+
+func growWeightSlices(ss [][]weightedRes, n int) [][]weightedRes {
+	for len(ss) < n {
+		ss = append(ss, nil)
+	}
+	ss = ss[:n]
+	for i := range ss {
+		ss[i] = ss[i][:0]
+	}
+	return ss
+}
+
+func growFloats(fs []float64, n int) []float64 {
+	for len(fs) < n {
+		fs = append(fs, 0)
+	}
+	return fs[:n]
+}
+
+// ensureVec returns v if it has length dim, else a fresh zeroed vector.
+func ensureVec(v tensor.Vector, dim int) tensor.Vector {
+	if len(v) != dim {
+		return tensor.NewVector(dim)
+	}
+	return v
+}
+
+// growZeroedVecs grows vs to n vectors of length dim and zeroes each.
+func growZeroedVecs(vs []tensor.Vector, n, dim int) []tensor.Vector {
+	for len(vs) < n {
+		vs = append(vs, nil)
+	}
+	vs = vs[:n]
+	for i := range vs {
+		vs[i] = ensureVec(vs[i], dim).Zero()
+	}
+	return vs
+}
+
+// forward runs the three-stage message passing with a fresh trace. Hot paths
+// should hold a trace and call forwardInto instead.
 func (m *Model) forward(g *features.Graph) (*Prediction, *trace) {
+	tr := &trace{}
+	return m.forwardInto(tr, g), tr
+}
+
+// forwardInto runs the three-stage message passing, reusing tr's buffers,
+// and leaves in tr everything backward needs. It allocates only when the
+// graph outgrows the trace.
+func (m *Model) forwardInto(tr *trace, g *features.Graph) *Prediction {
 	h := m.Cfg.Hidden
 	n := len(g.OpNodes)
-	tr := &trace{
-		g:          g,
-		encOp:      make([]*nn.Trace, n),
-		combineOp:  make([]*nn.Trace, n),
-		upstreams:  make([][]int, n),
-		hOp:        make([]tensor.Vector, n),
-		combineMap: make([]*nn.Trace, n),
-		resMsg:     make([]tensor.Vector, n),
-		mapWeights: make([][]weightedRes, n),
-	}
+	r := len(g.ResNodes)
+	tr.ensure(n, r, h)
+	tr.g = g
 
 	// Upstream index lists from the data-flow edges.
 	for _, e := range g.DataEdges {
@@ -223,41 +361,41 @@ func (m *Model) forward(g *features.Graph) (*Prediction, *trace) {
 		if enc == nil {
 			panic(fmt.Sprintf("gnn: no encoder for node type %v", node.Type))
 		}
-		tr.encOp[i] = enc.Forward(node.Feat)
-		agg := tensor.NewVector(h)
+		tr.encOp[i] = enc.ForwardInto(tr.encOp[i], node.Feat)
+		agg := tr.agg.Zero()
 		for _, up := range tr.upstreams[i] {
 			agg.AddInPlace(tr.hOp[up])
 		}
-		tr.combineOp[i] = m.CombineOp.Forward(tensor.Concat(tr.encOp[i].Output(), agg))
+		tr.combineOp[i] = m.CombineOp.ForwardInto(tr.combineOp[i], tr.concat2(tr.encOp[i].Output(), agg))
 		tr.hOp[i] = tr.combineOp[i].Output()
 	}
 
 	// Stage 2: resource pass.
-	r := len(g.ResNodes)
-	tr.encRes = make([]*nn.Trace, r)
-	tr.combineRes = make([]*nn.Trace, r)
-	tr.hRes = make([]tensor.Vector, r)
-	encSum := tensor.NewVector(h)
+	encSum := tr.encSum.Zero()
 	for i, node := range g.ResNodes {
-		tr.encRes[i] = m.EncRes.Forward(node.Feat)
+		tr.encRes[i] = m.EncRes.ForwardInto(tr.encRes[i], node.Feat)
 		encSum.AddInPlace(tr.encRes[i].Output())
 	}
 	for i := range g.ResNodes {
-		others := tensor.NewVector(h)
+		others := tr.others.Zero()
 		if r > 1 {
-			others = encSum.Clone().SubInPlace(tr.encRes[i].Output()).ScaleInPlace(1 / float64(r-1))
+			copy(others, encSum)
+			others.SubInPlace(tr.encRes[i].Output()).ScaleInPlace(1 / float64(r-1))
 		}
-		tr.combineRes[i] = m.CombineRes.Forward(tensor.Concat(tr.encRes[i].Output(), others))
+		tr.combineRes[i] = m.CombineRes.ForwardInto(tr.combineRes[i], tr.concat2(tr.encRes[i].Output(), others))
 		tr.hRes[i] = tr.combineRes[i].Output()
 	}
 
 	// Stage 3: mapping pass.
-	totalInstances := make([]float64, n)
+	totalInstances := tr.totalInstances
+	for i := range totalInstances {
+		totalInstances[i] = 0
+	}
 	for _, e := range g.Mapping {
 		totalInstances[e.OpIdx] += float64(e.Instances)
 	}
 	for i := range g.OpNodes {
-		msg := tensor.NewVector(h)
+		msg := tr.agg.Zero()
 		for _, e := range g.Mapping {
 			if e.OpIdx != i {
 				continue
@@ -269,36 +407,34 @@ func (m *Model) forward(g *features.Graph) (*Prediction, *trace) {
 			msg.AxpyInPlace(w, tr.hRes[e.ResIdx])
 			tr.mapWeights[i] = append(tr.mapWeights[i], weightedRes{resIdx: e.ResIdx, weight: w})
 		}
-		tr.resMsg[i] = msg
-		tr.combineMap[i] = m.CombineMap.Forward(tensor.Concat(tr.hOp[i], msg))
+		tr.combineMap[i] = m.CombineMap.ForwardInto(tr.combineMap[i], tr.concat2(tr.hOp[i], msg))
 	}
 
 	// Stage 4: read-out. Structured mode sums per-operator latency
 	// contributions (Def. 1); sink mode reads latency from the pooled sink
 	// state like the throughput head. Throughput always reads the sink
 	// state plus a mean pooling.
-	meanState := tensor.NewVector(h)
+	meanState := tr.meanState.Zero()
 	for i := range g.OpNodes {
 		meanState.AxpyInPlace(1/float64(n), tr.combineMap[i].Output())
 	}
-	pooled := tensor.Concat(tr.combineMap[g.SinkIdx].Output(), meanState)
+	pooled := tr.pooled
+	copy(pooled, tr.combineMap[g.SinkIdx].Output())
+	copy(pooled[h:], meanState)
 
 	var logLat float64
 	if m.Cfg.Readout == ReadoutSink {
-		tr.latTrace = m.LatHead.Forward(pooled)
+		tr.latTrace = m.LatHead.ForwardInto(tr.latTrace, pooled)
 		logLat = tr.latTrace.Output()[0]
 	} else {
-		tr.latTraces = make([]*nn.Trace, n)
-		lat := make([]float64, n) // o_i = log10 of op i's latency contribution
+		lat := tr.lat // o_i = log10 of op i's latency contribution
 		for i := range g.OpNodes {
-			tr.latTraces[i] = m.LatHead.Forward(tr.combineMap[i].Output())
+			tr.latTraces[i] = m.LatHead.ForwardInto(tr.latTraces[i], tr.combineMap[i].Output())
 			lat[i] = tr.latTraces[i].Output()[0]
 		}
-		var latW []float64
-		logLat, latW = logSumExp10(lat)
-		tr.latW = latW
+		logLat = logSumExp10(lat, tr.latW)
 	}
-	tr.tptTrace = m.TptHead.Forward(pooled)
+	tr.tptTrace = m.TptHead.ForwardInto(tr.tptTrace, pooled)
 	logTpt := tr.tptTrace.Output()[0]
 
 	return &Prediction{
@@ -306,13 +442,13 @@ func (m *Model) forward(g *features.Graph) (*Prediction, *trace) {
 		ThroughputEPS: math.Pow(10, logTpt),
 		LogLatency:    logLat,
 		LogThroughput: logTpt,
-	}, tr
+	}
 }
 
-// logSumExp10 computes log10(Σ 10^{x_i}) stably and the softmax weights
-// w_i = 10^{x_i}/Σ 10^{x_j}, which are exactly the partial derivatives of
-// the result with respect to x_i.
-func logSumExp10(xs []float64) (float64, []float64) {
+// logSumExp10 computes log10(Σ 10^{x_i}) stably and writes into w the softmax
+// weights w_i = 10^{x_i}/Σ 10^{x_j}, which are exactly the partial
+// derivatives of the result with respect to x_i. len(w) must equal len(xs).
+func logSumExp10(xs, w []float64) float64 {
 	maxX := math.Inf(-1)
 	for _, x := range xs {
 		if x > maxX {
@@ -320,7 +456,6 @@ func logSumExp10(xs []float64) (float64, []float64) {
 		}
 	}
 	var sum float64
-	w := make([]float64, len(xs))
 	for i, x := range xs {
 		w[i] = math.Pow(10, x-maxX)
 		sum += w[i]
@@ -328,7 +463,7 @@ func logSumExp10(xs []float64) (float64, []float64) {
 	for i := range w {
 		w[i] /= sum
 	}
-	return maxX + math.Log10(sum), w
+	return maxX + math.Log10(sum)
 }
 
 // Predict returns the model's cost estimate for the encoded plan.
@@ -338,26 +473,26 @@ func (m *Model) Predict(g *features.Graph) Prediction {
 }
 
 // backward propagates dLogLat and dLogTpt (∂loss/∂head outputs) through the
-// whole graph pass, accumulating parameter gradients.
+// whole graph pass, accumulating parameter gradients. It reuses tr's scratch
+// buffers, so it must be called before the trace's next forwardInto.
 func (m *Model) backward(tr *trace, dLogLat, dLogTpt float64) {
 	h := m.Cfg.Hidden
 	g := tr.g
 	n := len(g.OpNodes)
+	r := len(g.ResNodes)
 
-	dHOp := make([]tensor.Vector, n)
-	for i := range dHOp {
-		dHOp[i] = tensor.NewVector(h)
-	}
-	dHRes := make([]tensor.Vector, len(g.ResNodes))
-	for i := range dHRes {
-		dHRes[i] = tensor.NewVector(h)
-	}
+	tr.dHOp = growZeroedVecs(tr.dHOp, n, h)
+	tr.dHRes = growZeroedVecs(tr.dHRes, r, h)
+	dHOp, dHRes := tr.dHOp, tr.dHRes
 
 	// Pooled-head backward: gradients split into the sink's state and the
 	// mean pooling over all per-operator states.
 	dTptIn := m.TptHead.Backward(tr.tptTrace, tensor.Vector{dLogTpt})
-	dSinkState := tensor.Vector(dTptIn[:h]).Clone()
-	dMeanState := tensor.Vector(dTptIn[h:]).Clone()
+	dSinkState := ensureVec(tr.dSinkState, h)
+	dMeanState := ensureVec(tr.dMeanState, h)
+	tr.dSinkState, tr.dMeanState = dSinkState, dMeanState
+	copy(dSinkState, dTptIn[:h])
+	copy(dMeanState, dTptIn[h:])
 	if m.Cfg.Readout == ReadoutSink {
 		dLatIn := m.LatHead.Backward(tr.latTrace, tensor.Vector{dLogLat})
 		dSinkState.AddInPlace(dLatIn[:h])
@@ -365,8 +500,10 @@ func (m *Model) backward(tr *trace, dLogLat, dLogTpt float64) {
 	}
 	dMeanState.ScaleInPlace(1 / float64(n))
 
+	dState := ensureVec(tr.dState, h)
+	tr.dState = dState
 	for i := 0; i < n; i++ {
-		dState := dMeanState.Clone()
+		copy(dState, dMeanState)
 		if m.Cfg.Readout != ReadoutSink {
 			// Structured latency read-out: ∂logLat/∂o_i are the cached
 			// softmax weights of the per-operator contributions.
@@ -386,11 +523,8 @@ func (m *Model) backward(tr *trace, dLogLat, dLogTpt float64) {
 	}
 
 	// Resource pass backward.
-	r := len(g.ResNodes)
-	dEncRes := make([]tensor.Vector, r)
-	for i := range dEncRes {
-		dEncRes[i] = tensor.NewVector(h)
-	}
+	tr.dEncRes = growZeroedVecs(tr.dEncRes, r, h)
+	dEncRes := tr.dEncRes
 	for i := 0; i < r; i++ {
 		dIn := m.CombineRes.Backward(tr.combineRes[i], dHRes[i])
 		dEncRes[i].AddInPlace(dIn[:h])

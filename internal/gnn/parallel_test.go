@@ -1,0 +1,109 @@
+package gnn
+
+import (
+	"testing"
+
+	"zerotune/internal/features"
+)
+
+// trainSet builds a small mixed corpus with varied labels so the loss
+// surface is non-trivial.
+func trainSet(t *testing.T, n int) []*features.Graph {
+	t.Helper()
+	graphs := make([]*features.Graph, 0, n)
+	for i := 0; i < n; i++ {
+		g := testGraph(t, i%2 == 0, map[int]int{1: 1 + i%8})
+		g.LatencyMs = 5 + float64(i%7)*3.5
+		g.ThroughputEPS = 1000 + float64(i%5)*2500
+		graphs = append(graphs, g)
+	}
+	return graphs
+}
+
+// paramsEqual reports whether two models have bit-identical weights.
+func paramsEqual(a, b *Model) (bool, string) {
+	pa, pb := a.Params(), b.Params()
+	if len(pa) != len(pb) {
+		return false, "param count mismatch"
+	}
+	for i := range pa {
+		for j := range pa[i].Value {
+			if pa[i].Value[j] != pb[i].Value[j] {
+				return false, "weight mismatch"
+			}
+		}
+	}
+	return true, ""
+}
+
+// TestTrainDeterministicAcrossWorkers is the core guarantee of the
+// data-parallel training loop: gradients accumulate into fixed logical
+// shards reduced in a fixed order, so the final weights and loss are
+// bit-identical for any worker count (ISSUE: workers 1, 2 and 8).
+func TestTrainDeterministicAcrossWorkers(t *testing.T) {
+	graphs := trainSet(t, 24)
+	val := trainSet(t, 6)
+
+	run := func(workers int) (*Model, TrainStats) {
+		m := smallModel(7)
+		cfg := DefaultTrainConfig()
+		cfg.Epochs = 3
+		cfg.BatchSize = 5 // odd split: shards get uneven spans
+		cfg.Workers = workers
+		cfg.Val = val
+		stats, err := Train(m, graphs, cfg)
+		if err != nil {
+			t.Fatalf("train with %d workers: %v", workers, err)
+		}
+		return m, stats
+	}
+
+	base, baseStats := run(1)
+	for _, w := range []int{2, 8} {
+		m, stats := run(w)
+		if stats.FinalLoss != baseStats.FinalLoss {
+			t.Errorf("workers=%d: final loss %v != sequential %v", w, stats.FinalLoss, baseStats.FinalLoss)
+		}
+		if stats.BestValLoss != baseStats.BestValLoss {
+			t.Errorf("workers=%d: val loss %v != sequential %v", w, stats.BestValLoss, baseStats.BestValLoss)
+		}
+		if ok, why := paramsEqual(base, m); !ok {
+			t.Errorf("workers=%d: %s vs sequential run", w, why)
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict checks the batched inference path returns
+// exactly what per-graph Predict returns, in order, at several fan-outs.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	graphs := trainSet(t, 17)
+	m := smallModel(11)
+	want := make([]Prediction, len(graphs))
+	for i, g := range graphs {
+		want[i] = m.Predict(g)
+	}
+	for _, w := range []int{1, 2, 8} {
+		got := m.PredictBatch(graphs, w)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: got %d predictions, want %d", w, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d graph %d: batch %+v != sequential %+v", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEvalLossWorkerIndependent pins the validation/early-stopping loss to
+// the same value for every worker count.
+func TestEvalLossWorkerIndependent(t *testing.T) {
+	graphs := trainSet(t, 13)
+	m := smallModel(3)
+	base := evalLoss(m, graphs, 1.0, 1)
+	for _, w := range []int{2, 8} {
+		if got := evalLoss(m, graphs, 1.0, w); got != base {
+			t.Errorf("workers=%d: eval loss %v != sequential %v", w, got, base)
+		}
+	}
+}

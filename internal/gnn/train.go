@@ -7,6 +7,7 @@ import (
 
 	"zerotune/internal/features"
 	"zerotune/internal/nn"
+	"zerotune/internal/parallel"
 	"zerotune/internal/tensor"
 )
 
@@ -19,6 +20,11 @@ type TrainConfig struct {
 	ClipNorm    float64 // global gradient-norm clip; 0 disables
 	HuberDelta  float64 // log-space Huber threshold
 	Seed        uint64
+	// Workers caps the data-parallel fan-out per minibatch (0 resolves via
+	// parallel.Workers, i.e. the ZEROTUNE_WORKERS override or GOMAXPROCS).
+	// The result is identical for every worker count: gradients accumulate
+	// into fixed logical shards that are reduced in a fixed order.
+	Workers int
 	// Progress, when non-nil, receives (epoch, mean training loss) after
 	// every epoch.
 	Progress func(epoch int, loss float64)
@@ -68,6 +74,22 @@ type TrainStats struct {
 	BestValLoss float64
 }
 
+// maxGradShards fixes the number of logical gradient shards per minibatch.
+// The shard structure depends only on the batch, never on the worker count,
+// and shards are reduced in a fixed tree order — that is what makes training
+// results identical whether a batch runs on 1 worker or 16.
+const maxGradShards = 16
+
+// gradShard is one logical slice of a minibatch: a weight-sharing gradient
+// shadow of the model, a reusable forward/backward trace, and a private loss
+// accumulator. Shards are the unit of work a training worker picks up.
+type gradShard struct {
+	model  *Model
+	params []nn.Param
+	tr     *trace
+	loss   float64
+}
+
 // snapshotParams deep-copies the current parameter values.
 func snapshotParams(params []nn.Param) [][]float64 {
 	out := make([][]float64, len(params))
@@ -77,6 +99,14 @@ func snapshotParams(params []nn.Param) [][]float64 {
 	return out
 }
 
+// copyParamsInto writes the current parameter values into an existing
+// snapshot without allocating.
+func copyParamsInto(snap [][]float64, params []nn.Param) {
+	for i, p := range params {
+		copy(snap[i], p.Value)
+	}
+}
+
 // restoreParams writes a snapshot back into the parameters.
 func restoreParams(params []nn.Param, snap [][]float64) {
 	for i, p := range params {
@@ -84,8 +114,38 @@ func restoreParams(params []nn.Param, snap [][]float64) {
 	}
 }
 
+// addGrads accumulates src's gradients into dst. Both must come from Params
+// of the same model (or a ShadowGrads of it), so tensors align.
+func addGrads(dst, src []nn.Param) {
+	for i := range dst {
+		d, s := dst[i].Grad, src[i].Grad
+		for j := range d {
+			d[j] += s[j]
+		}
+	}
+}
+
+// reduceShards tree-reduces the shards' gradients into shards[0]: strides
+// double each level, and within a level pairs are combined left to right.
+// The order depends only on the shard count, which depends only on the
+// batch, so the reduction is deterministic for any worker count.
+func reduceShards(shards []*gradShard) {
+	for stride := 1; stride < len(shards); stride *= 2 {
+		for s := 0; s+stride < len(shards); s += 2 * stride {
+			addGrads(shards[s].params, shards[s+stride].params)
+		}
+	}
+}
+
 // Train optimizes the model on the labelled graphs. Graphs must carry
 // LatencyMs and ThroughputEPS labels. Returns an error for empty input.
+//
+// Minibatches run data-parallel: each batch is cut into fixed logical shards
+// (at most maxGradShards, fewer for small batches), every shard accumulates
+// loss and gradients into its own buffers on a pool of cfg.Workers
+// goroutines, and the shards are reduced in a fixed order before the Adam
+// step — so fixed-seed runs produce bit-identical models at any worker
+// count.
 func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, error) {
 	if len(graphs) == 0 {
 		return TrainStats{}, fmt.Errorf("gnn: no training graphs")
@@ -97,6 +157,21 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 	rng := tensor.NewRNG(cfg.Seed)
 	opt := nn.NewAdam(cfg.LR)
 	opt.WeightDecay = cfg.WeightDecay
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	nShards := maxGradShards
+	if cfg.BatchSize < nShards {
+		nShards = cfg.BatchSize
+	}
+	shards := make([]*gradShard, nShards)
+	for i := range shards {
+		sm := m.ShadowGrads()
+		shards[i] = &gradShard{model: sm, params: sm.Params(), tr: &trace{}}
+	}
+	params := m.Params()
 
 	idx := make([]int, len(graphs))
 	for i := range idx {
@@ -121,18 +196,33 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 			if end > len(idx) {
 				end = len(idx)
 			}
-			m.ZeroGrad()
-			for _, gi := range idx[batchStart:end] {
-				g := graphs[gi]
-				pred, tr := m.forward(g)
-				latLoss, latGrad := nn.Huber(pred.LogLatency, LogTarget(g.LatencyMs), cfg.HuberDelta)
-				tptLoss, tptGrad := nn.Huber(pred.LogThroughput, LogTarget(g.ThroughputEPS), cfg.HuberDelta)
-				epochLoss += latLoss + tptLoss
-				m.backward(tr, latGrad, tptGrad)
+			batch := idx[batchStart:end]
+			k := len(shards)
+			if len(batch) < k {
+				k = len(batch)
 			}
-			params := m.Params()
+			parallel.For(k, workers, func(s int) {
+				sh := shards[s]
+				sh.model.ZeroGrad()
+				sh.loss = 0
+				lo, hi := len(batch)*s/k, len(batch)*(s+1)/k
+				for _, gi := range batch[lo:hi] {
+					g := graphs[gi]
+					pred := sh.model.forwardInto(sh.tr, g)
+					latLoss, latGrad := nn.Huber(pred.LogLatency, LogTarget(g.LatencyMs), cfg.HuberDelta)
+					tptLoss, tptGrad := nn.Huber(pred.LogThroughput, LogTarget(g.ThroughputEPS), cfg.HuberDelta)
+					sh.loss += latLoss + tptLoss
+					sh.model.backward(sh.tr, latGrad, tptGrad)
+				}
+			})
+			for s := 0; s < k; s++ {
+				epochLoss += shards[s].loss
+			}
+			reduceShards(shards[:k])
+			m.ZeroGrad()
+			addGrads(params, shards[0].params)
 			// Average gradients over the batch.
-			scale := 1.0 / float64(end-batchStart)
+			scale := 1.0 / float64(len(batch))
 			for _, p := range params {
 				for i := range p.Grad {
 					p.Grad[i] *= scale
@@ -148,10 +238,16 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 			cfg.Progress(epoch, meanLoss)
 		}
 		if len(cfg.Val) > 0 {
-			valLoss := EvalLoss(m, cfg.Val, cfg.HuberDelta)
+			valLoss := evalLoss(m, cfg.Val, cfg.HuberDelta, workers)
 			if valLoss < bestVal {
 				bestVal = valLoss
-				bestSnap = snapshotParams(m.Params())
+				// Reuse the snapshot buffers: fresh slices on every
+				// improvement would churn allocations for nothing.
+				if bestSnap == nil {
+					bestSnap = snapshotParams(params)
+				} else {
+					copyParamsInto(bestSnap, params)
+				}
 				sinceBest = 0
 			} else {
 				sinceBest++
@@ -163,7 +259,7 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 	}
 	stats := TrainStats{Epochs: epochsRun, FinalLoss: meanLoss, Duration: time.Since(start)}
 	if bestSnap != nil {
-		restoreParams(m.Params(), bestSnap)
+		restoreParams(params, bestSnap)
 		stats.BestValLoss = bestVal
 	}
 	return stats, nil
@@ -172,15 +268,5 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 // EvalLoss computes the mean log-space Huber loss on a labelled set without
 // updating the model.
 func EvalLoss(m *Model, graphs []*features.Graph, huberDelta float64) float64 {
-	if len(graphs) == 0 {
-		return 0
-	}
-	var total float64
-	for _, g := range graphs {
-		pred := m.Predict(g)
-		latLoss, _ := nn.Huber(pred.LogLatency, LogTarget(g.LatencyMs), huberDelta)
-		tptLoss, _ := nn.Huber(pred.LogThroughput, LogTarget(g.ThroughputEPS), huberDelta)
-		total += latLoss + tptLoss
-	}
-	return total / float64(len(graphs))
+	return evalLoss(m, graphs, huberDelta, parallel.Workers())
 }

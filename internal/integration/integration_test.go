@@ -38,7 +38,7 @@ func trainSmall(t *testing.T) *core.ZeroTune {
 		}
 		opts := core.DefaultTrainOptions()
 		opts.Model = gnn.Config{Hidden: 32, EncDepth: 1, HeadHidden: 32}
-		opts.Train.Epochs = 25
+		opts.Train.Epochs = 35
 		shared, _, trainErr = core.Train(items, opts)
 	})
 	if trainErr != nil {

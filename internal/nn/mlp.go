@@ -47,6 +47,11 @@ type layerTrace struct {
 	in  tensor.Vector // input to the layer
 	pre tensor.Vector // W·x + b before activation
 	out tensor.Vector // activation(pre)
+
+	// Backward scratch, lazily sized and reused across Backward calls on the
+	// same trace.
+	dPre tensor.Vector
+	dIn  tensor.Vector
 }
 
 // Trace records the intermediate activations of one MLP forward pass so that
@@ -94,22 +99,53 @@ func (m *MLP) OutDim() int { return m.Layers[len(m.Layers)-1].Out() }
 // the network output. The input vector is copied into the trace, so callers
 // may reuse x.
 func (m *MLP) Forward(x tensor.Vector) *Trace {
+	return m.ForwardInto(nil, x)
+}
+
+// ForwardInto is Forward reusing the buffers of t, a trace from an earlier
+// pass through this (or an identically shaped) network. A nil or mismatched
+// t allocates fresh buffers, so `t = m.ForwardInto(t, x)` in a loop amortizes
+// every allocation after the first pass. The returned trace's contents —
+// including Output() — are valid only until the next ForwardInto call with
+// the same trace.
+func (m *MLP) ForwardInto(t *Trace, x tensor.Vector) *Trace {
 	if len(x) != m.InDim() {
 		panic(fmt.Sprintf("nn: MLP input width %d, want %d", len(x), m.InDim()))
 	}
-	t := &Trace{layers: make([]layerTrace, len(m.Layers))}
-	cur := x.Clone()
-	for i, l := range m.Layers {
-		pre := l.W.MulVec(cur, tensor.NewVector(l.Out()))
-		pre.AddInPlace(l.B)
-		out := tensor.NewVector(l.Out())
-		for j, p := range pre {
-			out[j] = l.Act.Apply(p)
+	if !m.traceFits(t) {
+		t = &Trace{layers: make([]layerTrace, len(m.Layers))}
+		prev := tensor.NewVector(m.InDim())
+		for i, l := range m.Layers {
+			t.layers[i] = layerTrace{in: prev, pre: tensor.NewVector(l.Out()), out: tensor.NewVector(l.Out())}
+			prev = t.layers[i].out
 		}
-		t.layers[i] = layerTrace{in: cur, pre: pre, out: out}
-		cur = out
+	}
+	copy(t.layers[0].in, x)
+	for i, l := range m.Layers {
+		lt := &t.layers[i]
+		l.W.MulVec(lt.in, lt.pre)
+		lt.pre.AddInPlace(l.B)
+		for j, p := range lt.pre {
+			lt.out[j] = l.Act.Apply(p)
+		}
 	}
 	return t
+}
+
+// traceFits reports whether t's buffers match this network's layer shapes.
+func (m *MLP) traceFits(t *Trace) bool {
+	if t == nil || len(t.layers) != len(m.Layers) {
+		return false
+	}
+	if len(t.layers[0].in) != m.InDim() {
+		return false
+	}
+	for i, l := range m.Layers {
+		if len(t.layers[i].out) != l.Out() || len(t.layers[i].pre) != l.Out() {
+			return false
+		}
+	}
+	return true
 }
 
 // Predict runs a forward pass and returns only the output (no trace kept
@@ -123,26 +159,52 @@ func (m *MLP) Predict(x tensor.Vector) tensor.Vector {
 // GradB, and returns ∂loss/∂input. Call ZeroGrad before the first Backward
 // of an optimization step; repeated Backward calls sum gradients, which is
 // exactly what shared weights need.
+//
+// The returned vector aliases scratch owned by the trace: it is valid only
+// until the next Backward call with the same trace. dOut is read, not
+// written.
 func (m *MLP) Backward(t *Trace, dOut tensor.Vector) tensor.Vector {
 	if len(t.layers) != len(m.Layers) {
 		panic("nn: trace does not match MLP depth")
 	}
-	grad := dOut.Clone()
+	grad := dOut
 	for i := len(m.Layers) - 1; i >= 0; i-- {
 		l := m.Layers[i]
-		lt := t.layers[i]
+		lt := &t.layers[i]
+		if len(lt.dPre) != l.Out() {
+			lt.dPre = tensor.NewVector(l.Out())
+		}
+		if len(lt.dIn) != l.In() {
+			lt.dIn = tensor.NewVector(l.In())
+		}
 		// Through activation: dPre = grad ⊙ act'(pre)
-		dPre := tensor.NewVector(l.Out())
-		for j := range dPre {
-			dPre[j] = grad[j] * l.Act.Deriv(lt.pre[j])
+		for j := range lt.dPre {
+			lt.dPre[j] = grad[j] * l.Act.Deriv(lt.pre[j])
 		}
 		// Parameter grads.
-		l.GradW.AddOuterInPlace(1, dPre, lt.in)
-		l.GradB.AddInPlace(dPre)
+		l.GradW.AddOuterInPlace(1, lt.dPre, lt.in)
+		l.GradB.AddInPlace(lt.dPre)
 		// Input grad.
-		grad = l.W.MulVecT(dPre, tensor.NewVector(l.In()))
+		grad = l.W.MulVecT(lt.dPre, lt.dIn)
 	}
 	return grad
+}
+
+// ShadowGrads returns an MLP sharing m's weights (same W and B slices) but
+// with fresh, independent gradient accumulators. Shadows are the per-shard
+// gradient sinks of data-parallel training: forward passes read the shared
+// weights concurrently while each shard's backward pass accumulates into its
+// own buffers, which are then reduced into the primary model's gradients.
+func (m *MLP) ShadowGrads() *MLP {
+	out := &MLP{Layers: make([]*Linear, len(m.Layers))}
+	for i, l := range m.Layers {
+		out.Layers[i] = &Linear{
+			W: l.W, B: l.B, Act: l.Act,
+			GradW: tensor.NewMatrix(l.W.Rows, l.W.Cols),
+			GradB: tensor.NewVector(len(l.B)),
+		}
+	}
+	return out
 }
 
 // ZeroGrad clears all gradient accumulators.

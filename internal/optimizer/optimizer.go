@@ -38,6 +38,16 @@ func (f EstimatorFunc) Estimate(p *queryplan.PQP, c *cluster.Cluster) (Estimate,
 	return f(p, c)
 }
 
+// BatchCostEstimator is an optional CostEstimator extension for estimators
+// that can score many candidate plans at once — e.g. by fanning GNN forward
+// passes across cores. Tune uses it when available, which turns the what-if
+// sweep over the candidate set into a single parallel batch. Implementations
+// must return one estimate per plan, in order.
+type BatchCostEstimator interface {
+	CostEstimator
+	EstimateBatch(ps []*queryplan.PQP, c *cluster.Cluster) ([]Estimate, error)
+}
+
 // WeightedCost is Eq. 1: wt·C_L + (1−wt)·C_T with both costs min-max
 // normalized into [0, 1] over the candidate set (0 best). Throughput is
 // negated inside the normalization because it is maximized.
@@ -107,22 +117,33 @@ func Tune(q *queryplan.Query, c *cluster.Cluster, est CostEstimator, opts TuneOp
 		return nil, err
 	}
 
-	type scored struct {
-		plan *queryplan.PQP
-		est  Estimate
-	}
-	var evaluated []scored
-	latMin, latMax := math.Inf(1), math.Inf(-1)
-	tptMin, tptMax := math.Inf(1), math.Inf(-1)
 	for _, cand := range candidates {
 		if err := cluster.Place(cand, c); err != nil {
 			return nil, err
 		}
-		e, err := est.Estimate(cand, c)
+	}
+	var estimates []Estimate
+	if be, ok := est.(BatchCostEstimator); ok {
+		estimates, err = be.EstimateBatch(candidates, c)
 		if err != nil {
 			return nil, fmt.Errorf("optimizer: estimate failed: %w", err)
 		}
-		evaluated = append(evaluated, scored{plan: cand, est: e})
+		if len(estimates) != len(candidates) {
+			return nil, fmt.Errorf("optimizer: batch estimator returned %d estimates for %d candidates",
+				len(estimates), len(candidates))
+		}
+	} else {
+		estimates = make([]Estimate, len(candidates))
+		for i, cand := range candidates {
+			if estimates[i], err = est.Estimate(cand, c); err != nil {
+				return nil, fmt.Errorf("optimizer: estimate failed: %w", err)
+			}
+		}
+	}
+
+	latMin, latMax := math.Inf(1), math.Inf(-1)
+	tptMin, tptMax := math.Inf(1), math.Inf(-1)
+	for _, e := range estimates {
 		latMin = math.Min(latMin, e.LatencyMs)
 		latMax = math.Max(latMax, e.LatencyMs)
 		tptMin = math.Min(tptMin, e.ThroughputEPS)
@@ -131,16 +152,16 @@ func Tune(q *queryplan.Query, c *cluster.Cluster, est CostEstimator, opts TuneOp
 
 	best := -1
 	bestCost := math.Inf(1)
-	for i, s := range evaluated {
-		cost := WeightedCost(s.est.LatencyMs, s.est.ThroughputEPS, latMin, latMax, tptMin, tptMax, opts.Weight)
+	for i, e := range estimates {
+		cost := WeightedCost(e.LatencyMs, e.ThroughputEPS, latMin, latMax, tptMin, tptMax, opts.Weight)
 		if cost < bestCost {
 			best, bestCost = i, cost
 		}
 	}
 	return &TuneResult{
-		Plan:       evaluated[best].plan,
-		Estimate:   evaluated[best].est,
-		Candidates: len(evaluated),
+		Plan:       candidates[best],
+		Estimate:   estimates[best],
+		Candidates: len(candidates),
 		Cost:       bestCost,
 	}, nil
 }

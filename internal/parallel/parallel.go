@@ -1,0 +1,106 @@
+// Package parallel is the shared data-parallel execution layer: a small
+// worker-pool API used by training (per-batch gradient shards), corpus
+// generation (per-query sampling), inference (batched forward passes) and
+// candidate-plan estimation, so every hot path resolves its worker count and
+// distributes work the same way.
+//
+// Determinism contract: callers assign each index its own output slot (and,
+// where randomness is involved, an index-derived RNG seed), so results are
+// identical regardless of the worker count or the order in which workers pick
+// up indices. The worker id passed by ForWorker selects scratch buffers only;
+// it must never influence results.
+package parallel
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides the worker count for
+// every parallel section in the repository.
+const EnvWorkers = "ZEROTUNE_WORKERS"
+
+// Workers returns the number of workers parallel sections should use: the
+// ZEROTUNE_WORKERS override when set to a positive integer, otherwise
+// GOMAXPROCS. It is read on every call so tests can vary the override.
+func Workers() int {
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Clamp bounds a worker count to [1, n] for a section with n work items.
+func Clamp(workers, n int) int {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs fn(i) for every i in [0, n) on up to workers goroutines and waits
+// for all of them. Indices are handed out dynamically, so callers must not
+// rely on any particular assignment of indices to goroutines. workers <= 1
+// (or n <= 1) runs inline with no goroutines.
+func For(n, workers int, fn func(i int)) {
+	ForWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForWorker is For with the executing worker's id (in [0, workers)) passed to
+// fn. The id is for indexing per-worker scratch buffers only — which worker
+// processes which index is scheduling-dependent, so the id must never affect
+// the result written for an index.
+func ForWorker(n, workers int, fn func(worker, i int)) {
+	workers = Clamp(workers, n)
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForErr runs fn(i) for every i in [0, n) on up to workers goroutines and
+// returns the error of the lowest failing index (deterministic regardless of
+// scheduling), or nil if every call succeeded.
+func ForErr(n, workers int, fn func(i int) error) error {
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+	)
+	For(n, workers, func(i int) {
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
+}

@@ -1,0 +1,85 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersEnvOverride(t *testing.T) {
+	t.Setenv(EnvWorkers, "5")
+	if got := Workers(); got != 5 {
+		t.Fatalf("Workers() = %d with override 5", got)
+	}
+	t.Setenv(EnvWorkers, "0")
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS for invalid override", got)
+	}
+	t.Setenv(EnvWorkers, "bogus")
+	if got := Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers() = %d, want GOMAXPROCS for garbage override", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct{ workers, n, want int }{
+		{8, 3, 3}, {2, 10, 2}, {0, 5, 1}, {-1, 5, 1}, {4, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Clamp(c.workers, c.n); got != c.want {
+			t.Fatalf("Clamp(%d, %d) = %d, want %d", c.workers, c.n, got, c.want)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		const n = 100
+		var hits [n]atomic.Int32
+		For(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForZeroItems(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	if called {
+		t.Fatal("fn called with zero items")
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	const workers, n = 4, 50
+	var bad atomic.Int32
+	ForWorker(n, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker id outside [0, workers)")
+	}
+}
+
+func TestForErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		err := ForErr(20, workers, func(i int) error {
+			if i%7 == 3 { // fails at 3, 10, 17
+				return fmt.Errorf("fail %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail 3" {
+			t.Fatalf("workers=%d: err = %v, want fail 3", workers, err)
+		}
+	}
+	if err := ForErr(10, 4, func(int) error { return nil }); err != nil {
+		t.Fatalf("unexpected error %v", err)
+	}
+}

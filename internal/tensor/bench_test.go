@@ -1,0 +1,50 @@
+package tensor
+
+import "testing"
+
+// Kernel micro-benchmarks at the shapes the GNN actually runs: hidden widths
+// around 48–96 with concat inputs twice as wide.
+
+func benchMatrix(rows, cols int, seed uint64) (*Matrix, Vector, Vector, Vector) {
+	rng := NewRNG(seed)
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.Range(-1, 1)
+	}
+	in := NewVector(cols)
+	for i := range in {
+		in[i] = rng.Range(-1, 1)
+	}
+	outRows := NewVector(rows)
+	for i := range outRows {
+		outRows[i] = rng.Range(-1, 1)
+	}
+	return m, in, outRows, NewVector(cols)
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m, in, out, _ := benchMatrix(48, 96, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVec(in, out)
+	}
+}
+
+func BenchmarkMulVecT(b *testing.B) {
+	m, _, u, outCols := benchMatrix(48, 96, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecT(u, outCols)
+	}
+}
+
+func BenchmarkAddOuter(b *testing.B) {
+	m, v, u, _ := benchMatrix(48, 96, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.AddOuterInPlace(0.5, u, v)
+	}
+}

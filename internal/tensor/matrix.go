@@ -82,16 +82,28 @@ func (m *Matrix) RandomizeHe(rng *RNG, fanIn int) *Matrix {
 
 // MulVec computes out = m · v. out must have length m.Rows and v length
 // m.Cols; out is returned for chaining. out must not alias v.
+//
+// The dot product is 4-way unrolled with independent accumulators; the
+// partial sums are combined in a fixed order, so results are deterministic
+// (though not bit-identical to a strictly sequential accumulation).
 func (m *Matrix) MulVec(v, out Vector) Vector {
 	mustSameLen(len(v), m.Cols)
 	mustSameLen(len(out), m.Rows)
+	n := m.Cols
 	for r := 0; r < m.Rows; r++ {
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
-		var s float64
-		for c, x := range row {
-			s += x * v[c]
+		row := m.Data[r*n : (r+1)*n]
+		var s0, s1, s2, s3 float64
+		c := 0
+		for ; c+3 < n; c += 4 {
+			s0 += row[c] * v[c]
+			s1 += row[c+1] * v[c+1]
+			s2 += row[c+2] * v[c+2]
+			s3 += row[c+3] * v[c+3]
 		}
-		out[r] = s
+		for ; c < n; c++ {
+			s0 += row[c] * v[c]
+		}
+		out[r] = (s0 + s1) + (s2 + s3)
 	}
 	return out
 }
@@ -102,14 +114,22 @@ func (m *Matrix) MulVecT(v, out Vector) Vector {
 	mustSameLen(len(v), m.Rows)
 	mustSameLen(len(out), m.Cols)
 	out.Zero()
+	n := m.Cols
 	for r := 0; r < m.Rows; r++ {
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
 		vr := v[r]
 		if vr == 0 {
 			continue
 		}
-		for c, x := range row {
-			out[c] += x * vr
+		row := m.Data[r*n : (r+1)*n]
+		c := 0
+		for ; c+3 < n; c += 4 {
+			out[c] += row[c] * vr
+			out[c+1] += row[c+1] * vr
+			out[c+2] += row[c+2] * vr
+			out[c+3] += row[c+3] * vr
+		}
+		for ; c < n; c++ {
+			out[c] += row[c] * vr
 		}
 	}
 	return out
@@ -120,13 +140,21 @@ func (m *Matrix) MulVecT(v, out Vector) Vector {
 func (m *Matrix) AddOuterInPlace(a float64, u, v Vector) *Matrix {
 	mustSameLen(len(u), m.Rows)
 	mustSameLen(len(v), m.Cols)
+	n := m.Cols
 	for r := 0; r < m.Rows; r++ {
 		au := a * u[r]
 		if au == 0 {
 			continue
 		}
-		row := m.Data[r*m.Cols : (r+1)*m.Cols]
-		for c := range row {
+		row := m.Data[r*n : (r+1)*n]
+		c := 0
+		for ; c+3 < n; c += 4 {
+			row[c] += au * v[c]
+			row[c+1] += au * v[c+1]
+			row[c+2] += au * v[c+2]
+			row[c+3] += au * v[c+3]
+		}
+		for ; c < n; c++ {
 			row[c] += au * v[c]
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"zerotune/internal/cluster"
 	"zerotune/internal/features"
 	"zerotune/internal/optisample"
+	"zerotune/internal/parallel"
 	"zerotune/internal/queryplan"
 	"zerotune/internal/simulator"
 	"zerotune/internal/tensor"
@@ -45,6 +46,11 @@ type Generator struct {
 	// NodeTypes to build clusters from; nil selects by the seen flag passed
 	// to Generate.
 	NodeTypes []cluster.NodeType
+	// Workers caps the per-query fan-out of Generate (0 resolves via
+	// parallel.Workers, i.e. the ZEROTUNE_WORKERS override or GOMAXPROCS).
+	// Every item draws from its own index-derived RNG, so the corpus is
+	// identical for any worker count.
+	Workers int
 }
 
 // NewSeenGenerator returns a generator over the training grid with the
@@ -65,7 +71,11 @@ func (g *Generator) Generate(structures []string, n int) ([]*Item, error) {
 	return g.GenerateWith(structures, n, Overrides{})
 }
 
-// GenerateWith is Generate with parameter overrides.
+// GenerateWith is Generate with parameter overrides. The simulate-and-label
+// loop is embarrassingly parallel, so items fan out across a worker pool;
+// each item draws from an RNG seeded by (generator seed, item index), which
+// makes the corpus order-independent: the same seed yields the same items at
+// any worker count.
 func (g *Generator) GenerateWith(structures []string, n int, ov Overrides) ([]*Item, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("workload: need a positive sample count, got %d", n)
@@ -73,16 +83,37 @@ func (g *Generator) GenerateWith(structures []string, n int, ov Overrides) ([]*I
 	if len(structures) == 0 {
 		return nil, fmt.Errorf("workload: no structures given")
 	}
-	rng := tensor.NewRNG(g.Seed)
-	items := make([]*Item, 0, n)
-	for i := 0; i < n; i++ {
+	workers := g.Workers
+	if workers <= 0 {
+		workers = parallel.Workers()
+	}
+	items := make([]*Item, n)
+	err := parallel.ForErr(n, workers, func(i int) error {
+		rng := tensor.NewRNG(itemSeed(g.Seed, uint64(i)))
 		item, err := g.sample(tensor.Pick(rng, structures), rng, ov)
 		if err != nil {
-			return nil, fmt.Errorf("workload: sample %d: %w", i, err)
+			return fmt.Errorf("workload: sample %d: %w", i, err)
 		}
-		items = append(items, item)
+		items[i] = item
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return items, nil
+}
+
+// itemSeed mixes the generator seed with an item index (splitmix64
+// finalizer) so per-item RNG streams are decorrelated and independent of
+// generation order.
+func itemSeed(seed, i uint64) uint64 {
+	x := seed + (i+1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // SampleQuery draws one query and one cluster from the generator's ranges

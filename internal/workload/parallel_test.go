@@ -1,0 +1,52 @@
+package workload
+
+import (
+	"testing"
+)
+
+// TestGenerateDeterministicAcrossWorkers checks corpus generation is
+// order-independent: every item draws from its own RNG stream seeded by
+// (corpus seed, item index), so the labels and plans are identical for any
+// worker fan-out (ISSUE: workers 1, 2 and 8).
+func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
+	const n = 40
+	run := func(workers int) []*Item {
+		gen := NewSeenGenerator(42)
+		gen.Workers = workers
+		items, err := gen.Generate(SeenRanges().Structures, n)
+		if err != nil {
+			t.Fatalf("generate with %d workers: %v", workers, err)
+		}
+		if len(items) != n {
+			t.Fatalf("generate with %d workers: got %d items, want %d", workers, len(items), n)
+		}
+		return items
+	}
+
+	base := run(1)
+	for _, w := range []int{2, 8} {
+		items := run(w)
+		for i := range base {
+			a, b := base[i], items[i]
+			if a.LatencyMs != b.LatencyMs || a.ThroughputEPS != b.ThroughputEPS {
+				t.Errorf("workers=%d item %d: labels (%v, %v) != sequential (%v, %v)",
+					w, i, b.LatencyMs, b.ThroughputEPS, a.LatencyMs, a.ThroughputEPS)
+			}
+			if a.Plan.Query.Template != b.Plan.Query.Template {
+				t.Errorf("workers=%d item %d: template %q != sequential %q",
+					w, i, b.Plan.Query.Template, a.Plan.Query.Template)
+			}
+			av, bv := a.Plan.DegreesVector(), b.Plan.DegreesVector()
+			if len(av) != len(bv) {
+				t.Errorf("workers=%d item %d: degree vector length differs", w, i)
+				continue
+			}
+			for j := range av {
+				if av[j] != bv[j] {
+					t.Errorf("workers=%d item %d: degrees %v != sequential %v", w, i, bv, av)
+					break
+				}
+			}
+		}
+	}
+}
