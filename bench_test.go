@@ -10,13 +10,22 @@ package zerotune
 // the default keeps the whole suite within minutes on a laptop.
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"zerotune/internal/core"
 	"zerotune/internal/experiments"
 	"zerotune/internal/gnn"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/serve"
 	"zerotune/internal/tensor"
 	"zerotune/internal/workload"
 )
@@ -283,6 +292,68 @@ func BenchmarkFig11Ablation(b *testing.B) {
 		last = res
 	}
 	report(b, last)
+}
+
+// BenchmarkServePredict measures request throughput of the online serving
+// path end to end: HTTP decode, plan featurization, fingerprint cache, the
+// micro-batching coalescer, and data-parallel inference. Parallel clients
+// rotate through a pool of distinct plans so the coalescer sees concurrent
+// misses to batch while repeat requests exercise the cache.
+func BenchmarkServePredict(b *testing.B) {
+	gen := workload.NewSeenGenerator(5)
+	items, err := gen.Generate(workload.SeenRanges().Structures, 60)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := core.DefaultTrainOptions()
+	opts.Model = gnn.Config{Hidden: 12, EncDepth: 1, HeadHidden: 12}
+	opts.Train.Epochs = 2
+	zt, _, err := core.Train(items, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	s := serve.New(serve.Options{BatchWindow: 500 * time.Microsecond, MaxBatch: 64, CacheSize: 256})
+	defer s.Close()
+	s.Registry().Install(zt, "bench", "")
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+	url := srv.URL + "/v1/predict"
+
+	bodies := make([][]byte, 32)
+	for i := range bodies {
+		req := serve.PredictRequest{
+			Plan:    queryplan.NewPQP(queryplan.SpikeDetection(float64(5_000 + 1_000*i))),
+			Cluster: serve.ClusterSpec{Workers: 4, LinkGbps: 10},
+		}
+		bodies[i], err = json.Marshal(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var next atomic.Uint64
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := next.Add(1)
+			resp, err := http.Post(url, "application/json", bytes.NewReader(bodies[i%uint64(len(bodies))]))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			var out serve.PredictResponse
+			err = json.NewDecoder(resp.Body).Decode(&out)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				b.Errorf("status %d, decode err %v", resp.StatusCode, err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/sec")
 }
 
 // BenchmarkAblationReadout quantifies this reproduction's structured

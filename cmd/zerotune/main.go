@@ -8,6 +8,7 @@
 //	zerotune train      -n 3000 [-epochs 60] [-hidden 48] -out model.json
 //	zerotune predict    -model model.json -query spike-detection -rate 10000 [-workers 4] [-degree 4]
 //	zerotune tune       -model model.json -query 3-way-join -rate 100000 [-workers 6] [-weight 0.5]
+//	zerotune serve      -model model.json -addr 127.0.0.1:8080 [-batch-window 2ms] [-batch-max 64] [-cache-size 4096]
 //	zerotune simulate   -query linear -rate 100000 [-workers 4] [-degrees 1,4,4,1 | -plan plan.json]
 //	zerotune validate   -query linear -rate 5000 [-workers 2] [-duration 5000]
 //	zerotune experiment <id> [-scale quick|default|paper] [-csv dir]
@@ -49,6 +50,8 @@ func main() {
 		err = runPredict(os.Args[2:])
 	case "tune":
 		err = runTune(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "simulate":
 		err = runSimulate(os.Args[2:])
 	case "validate":
@@ -76,6 +79,7 @@ commands:
   train       train a zero-shot cost model and write it to a file
   predict     predict latency/throughput for a benchmark query
   tune        recommend parallelism degrees for a query
+  serve       expose predict/tune over HTTP with micro-batching and caching
   simulate    run the ground-truth engine on one plan and print its costs
   validate    cross-check the analytical engine against the event simulator
   experiment  regenerate a table or figure of the paper (id or "all")`)

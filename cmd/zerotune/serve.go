@@ -1,0 +1,70 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"zerotune/internal/serve"
+)
+
+// runServe starts the online prediction/tuning service: load + validate the
+// model, serve the HTTP API, and on SIGINT/SIGTERM drain in-flight requests
+// within the deadline before logging the final serving statistics.
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	model := fs.String("model", "model.json", "model path")
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address host:port")
+	window := fs.Duration("batch-window", 2*time.Millisecond, "micro-batch coalescing window (negative: flush immediately)")
+	maxBatch := fs.Int("batch-max", 64, "flush a micro-batch at this many plans")
+	cacheSize := fs.Int("cache-size", 4096, "plan-fingerprint cache entries")
+	drain := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	_ = fs.Parse(args)
+
+	s := serve.New(serve.Options{
+		BatchWindow: *window,
+		MaxBatch:    *maxBatch,
+		CacheSize:   *cacheSize,
+	})
+	entry, err := s.ServeModelFile(*model)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serving model %s (%s) on http://%s\n", entry.ID, *model, *addr)
+
+	srv := &http.Server{Addr: *addr, Handler: s}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "received %s, draining (deadline %s)...\n", got, *drain)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	shutdownErr := srv.Shutdown(ctx)
+	// Handlers are done (or abandoned at the deadline); stop the coalescer
+	// and emit the final observability digest.
+	s.Close()
+	fmt.Fprintln(os.Stderr, s.Summary())
+	if shutdownErr != nil {
+		return fmt.Errorf("serve: shutdown: %w", shutdownErr)
+	}
+	return nil
+}

@@ -126,6 +126,27 @@ func (z *ZeroTune) PredictBatch(ps []*queryplan.PQP, c *cluster.Cluster) ([]gnn.
 	return z.Model.PredictBatch(graphs, workers), nil
 }
 
+// EncodePlan places p on c (when not already placed) and featurizes it
+// under the model's mask — the exact graph Predict would run the forward
+// pass on. Callers that need to fingerprint or batch requests (the serving
+// layer) encode once, key off the graph, and feed the same graph to
+// PredictEncoded, so cache key and model input can never disagree.
+func (z *ZeroTune) EncodePlan(p *queryplan.PQP, c *cluster.Cluster) (*features.Graph, error) {
+	if len(p.Placement) != len(p.Query.Ops) {
+		if err := cluster.Place(p, c); err != nil {
+			return nil, err
+		}
+	}
+	return features.Encode(p, c, z.Mask)
+}
+
+// PredictEncoded runs the data-parallel forward pass over pre-encoded
+// graphs (see EncodePlan). Results are identical to Predict on the plans
+// the graphs came from, for any worker count.
+func (z *ZeroTune) PredictEncoded(graphs []*features.Graph) []gnn.Prediction {
+	return z.Model.PredictBatch(graphs, parallel.Workers())
+}
+
 // modelEstimator adapts the model to the optimizer's estimator interfaces,
 // including the batch fan-out used for candidate-plan sweeps.
 type modelEstimator struct{ z *ZeroTune }
@@ -194,7 +215,11 @@ func (z *ZeroTune) Save(w io.Writer) error {
 	return json.NewEncoder(w).Encode(persisted{Mask: z.Mask, Model: z.Model})
 }
 
-// Load reads a model previously written with Save.
+// Load reads a model previously written with Save. It rejects truncated or
+// structurally corrupt payloads with a descriptive error instead of handing
+// back a model that would panic on its first forward pass — the serving
+// layer's hot-reload endpoint depends on a bad file never taking down a
+// running server.
 func Load(r io.Reader) (*ZeroTune, error) {
 	var p persisted
 	if err := json.NewDecoder(r).Decode(&p); err != nil {
@@ -202,6 +227,12 @@ func Load(r io.Reader) (*ZeroTune, error) {
 	}
 	if p.Model == nil {
 		return nil, fmt.Errorf("core: load model: missing model payload")
+	}
+	if p.Mask != features.MaskAll && p.Mask != features.MaskOperatorOnly && p.Mask != features.MaskParallelismResource {
+		return nil, fmt.Errorf("core: load model: unknown feature mask %d", int(p.Mask))
+	}
+	if err := p.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("core: load model: %w", err)
 	}
 	return &ZeroTune{Model: p.Model, Mask: p.Mask}, nil
 }

@@ -244,3 +244,84 @@ func TestFineTuneMetricValidation(t *testing.T) {
 		t.Fatal("accepted nil extractor")
 	}
 }
+
+func TestLoadRejectsTruncatedBytes(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 3)
+	var buf bytes.Buffer
+	if err := zt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Every truncation point must produce an error, never a panic or a
+	// silently-broken model.
+	for _, frac := range []float64{0, 0.25, 0.5, 0.9, 0.999} {
+		cut := int(float64(len(data)) * frac)
+		if _, err := Load(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("accepted model truncated to %d of %d bytes", cut, len(data))
+		}
+	}
+}
+
+func TestLoadRejectsStructurallyCorruptModel(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 3)
+
+	// Chop the latency head down to its hidden layer: each remaining MLP is
+	// internally consistent, so only whole-model validation can catch it.
+	mangled := &ZeroTune{Model: zt.Model.ShadowGrads(), Mask: zt.Mask}
+	headless := *zt.Model.LatHead
+	headless.Layers = headless.Layers[:1]
+	mangled.Model.LatHead = &headless
+	var buf bytes.Buffer
+	if err := mangled.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Load(&buf)
+	if err == nil {
+		t.Fatal("accepted model with a chopped latency head")
+	}
+	if !strings.Contains(err.Error(), "core: load model") {
+		t.Fatalf("undescriptive error: %v", err)
+	}
+
+	// An out-of-range feature mask is rejected too.
+	buf.Reset()
+	if err := zt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := bytes.Replace(buf.Bytes(), []byte(`{"mask":0,`), []byte(`{"mask":42,`), 1)
+	if !bytes.Contains(corrupt, []byte(`"mask":42`)) {
+		t.Fatal("test setup: mask field not found in serialized model")
+	}
+	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
+		t.Fatal("accepted unknown feature mask")
+	}
+}
+
+func TestEncodePlanPredictEncodedMatchesPredict(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 3)
+	c, err := cluster.New(4, cluster.SeenTypes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var graphs []*features.Graph
+	var want []float64
+	for _, rate := range []float64{5_000, 20_000, 80_000} {
+		p := queryplan.NewPQP(queryplan.SpikeDetection(rate))
+		g, err := zt.EncodePlan(p, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+		pred, err := zt.Predict(queryplan.NewPQP(queryplan.SpikeDetection(rate)), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, pred.LatencyMs)
+	}
+	preds := zt.PredictEncoded(graphs)
+	for i, pred := range preds {
+		if pred.LatencyMs != want[i] {
+			t.Fatalf("graph %d: PredictEncoded %v != Predict %v", i, pred.LatencyMs, want[i])
+		}
+	}
+}

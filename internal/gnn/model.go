@@ -579,6 +579,66 @@ func (m *Model) MarshalJSON() ([]byte, error) {
 	})
 }
 
+// Validate checks that the model's sub-networks exist and chain together
+// dimensionally: encoders accept the current feature layout, combiners
+// accept concatenated hidden pairs, and the read-out heads emit scalars.
+// A model deserialized from truncated or hand-edited bytes can be
+// internally consistent per-MLP yet still crash the forward pass; Validate
+// turns that crash into a descriptive error before the model is served.
+func (m *Model) Validate() error {
+	for _, t := range opTypeOrder {
+		enc, ok := m.EncOp[t]
+		if !ok || enc == nil || len(enc.Layers) == 0 {
+			return fmt.Errorf("gnn: model missing %v encoder", t)
+		}
+	}
+	for _, mm := range m.mlps() {
+		if mm == nil || len(mm.Layers) == 0 {
+			return fmt.Errorf("gnn: model missing sub-networks")
+		}
+	}
+	h := m.EncOp[opTypeOrder[0]].OutDim()
+	if h < 1 {
+		return fmt.Errorf("gnn: hidden width %d < 1", h)
+	}
+	for _, t := range opTypeOrder {
+		enc := m.EncOp[t]
+		if enc.InDim() != features.OpFeatDim {
+			return fmt.Errorf("gnn: %v encoder expects %d features, encoding emits %d",
+				t, enc.InDim(), features.OpFeatDim)
+		}
+		if enc.OutDim() != h {
+			return fmt.Errorf("gnn: %v encoder width %d, want %d", t, enc.OutDim(), h)
+		}
+	}
+	if m.EncRes.InDim() != features.ResFeatDim {
+		return fmt.Errorf("gnn: resource encoder expects %d features, encoding emits %d",
+			m.EncRes.InDim(), features.ResFeatDim)
+	}
+	if m.EncRes.OutDim() != h {
+		return fmt.Errorf("gnn: resource encoder width %d, want %d", m.EncRes.OutDim(), h)
+	}
+	for _, c := range []struct {
+		name string
+		mlp  *nn.MLP
+	}{{"operator combiner", m.CombineOp}, {"resource combiner", m.CombineRes}, {"mapping combiner", m.CombineMap}} {
+		if c.mlp.InDim() != 2*h || c.mlp.OutDim() != h {
+			return fmt.Errorf("gnn: %s is %d→%d, want %d→%d", c.name, c.mlp.InDim(), c.mlp.OutDim(), 2*h, h)
+		}
+	}
+	latIn := h
+	if m.Cfg.Readout == ReadoutSink {
+		latIn = 2 * h
+	}
+	if m.LatHead.InDim() != latIn || m.LatHead.OutDim() != 1 {
+		return fmt.Errorf("gnn: latency head is %d→%d, want %d→1", m.LatHead.InDim(), m.LatHead.OutDim(), latIn)
+	}
+	if m.TptHead.InDim() != 2*h || m.TptHead.OutDim() != 1 {
+		return fmt.Errorf("gnn: throughput head is %d→%d, want %d→1", m.TptHead.InDim(), m.TptHead.OutDim(), 2*h)
+	}
+	return nil
+}
+
 // UnmarshalJSON implements json.Unmarshaler.
 func (m *Model) UnmarshalJSON(data []byte) error {
 	var in modelJSON

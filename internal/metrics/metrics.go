@@ -27,10 +27,23 @@ func QError(truth, pred float64) float64 {
 }
 
 // Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
-// interpolation. It panics on an empty slice.
+// interpolation. It panics on an empty slice; boundary code that cannot
+// rule out empty input (e.g. serving-layer histogram summaries before the
+// first request) should use TryQuantile instead.
 func Quantile(xs []float64, q float64) float64 {
-	if len(xs) == 0 {
+	v, ok := TryQuantile(xs, q)
+	if !ok {
 		panic("metrics: quantile of empty slice")
+	}
+	return v
+}
+
+// TryQuantile is the non-panicking Quantile: it reports ok=false on empty
+// input and otherwise behaves exactly like Quantile (a singleton slice
+// yields its only element for every q).
+func TryQuantile(xs []float64, q float64) (v float64, ok bool) {
+	if len(xs) == 0 {
+		return 0, false
 	}
 	if q < 0 {
 		q = 0
@@ -44,10 +57,10 @@ func Quantile(xs []float64, q float64) float64 {
 	lo := int(math.Floor(pos))
 	hi := int(math.Ceil(pos))
 	if lo == hi {
-		return sorted[lo]
+		return sorted[lo], true
 	}
 	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, true
 }
 
 // Median returns the 50th percentile.

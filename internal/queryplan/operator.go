@@ -216,35 +216,37 @@ func (p PartitionStrategy) String() string {
 
 // Operator is one logical streaming operator with the full transferable
 // parameter space of Table I. Fields that do not apply to the operator's
-// type are left at their zero values (TypeNone, CmpNone, …).
+// type are left at their zero values (TypeNone, CmpNone, …). The JSON tags
+// define the stable snake_case wire format used by plan files and the
+// zerotune-serve HTTP API; enum fields travel as their integer codes.
 type Operator struct {
-	ID   int
-	Type OpType
+	ID   int    `json:"id"`
+	Type OpType `json:"type"`
 
 	// Data features.
-	TupleWidthIn  int      // attributes per input tuple
-	TupleWidthOut int      // attributes per output tuple
-	TupleDataType DataType // dominant attribute class of the tuple
-	Selectivity   float64  // avg output/input ratio across instances
-	EventRate     float64  // events/second; sources only
+	TupleWidthIn  int      `json:"tuple_width_in,omitempty"`  // attributes per input tuple
+	TupleWidthOut int      `json:"tuple_width_out,omitempty"` // attributes per output tuple
+	TupleDataType DataType `json:"tuple_data_type,omitempty"` // dominant attribute class of the tuple
+	Selectivity   float64  `json:"selectivity,omitempty"`     // avg output/input ratio across instances
+	EventRate     float64  `json:"event_rate,omitempty"`      // events/second; sources only
 
 	// Filter features.
-	FilterFunc         CmpFunc
-	FilterLiteralClass DataType
+	FilterFunc         CmpFunc  `json:"filter_func,omitempty"`
+	FilterLiteralClass DataType `json:"filter_literal_class,omitempty"`
 
 	// Window features (aggregate and join operators).
-	WindowType    WindowType
-	WindowPolicy  WindowPolicy
-	WindowLength  float64 // tuples (count policy) or milliseconds (time policy)
-	SlidingLength float64 // same unit as WindowLength; sliding windows only
+	WindowType    WindowType   `json:"window_type,omitempty"`
+	WindowPolicy  WindowPolicy `json:"window_policy,omitempty"`
+	WindowLength  float64      `json:"window_length,omitempty"`  // tuples (count policy) or milliseconds (time policy)
+	SlidingLength float64      `json:"sliding_length,omitempty"` // same unit as WindowLength; sliding windows only
 
 	// Join features.
-	JoinKeyClass DataType
+	JoinKeyClass DataType `json:"join_key_class,omitempty"`
 
 	// Aggregation features.
-	AggFunc     AggFunc
-	AggClass    DataType
-	AggKeyClass DataType
+	AggFunc     AggFunc  `json:"agg_func,omitempty"`
+	AggClass    DataType `json:"agg_class,omitempty"`
+	AggKeyClass DataType `json:"agg_key_class,omitempty"`
 }
 
 // IsWindowed reports whether the operator buffers tuples in windows.

@@ -10,8 +10,9 @@ import (
 // the partitioning strategy used to distribute tuples among the downstream
 // operator's parallel instances.
 type Edge struct {
-	From, To     int
-	Partitioning PartitionStrategy
+	From         int               `json:"from"`
+	To           int               `json:"to"`
+	Partitioning PartitionStrategy `json:"partitioning"`
 }
 
 // Query is a logical streaming query: a DAG of operators from one or more

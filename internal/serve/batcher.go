@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"zerotune/internal/features"
+	"zerotune/internal/gnn"
+)
+
+// errBatcherClosed is returned for predictions submitted after shutdown.
+var errBatcherClosed = fmt.Errorf("serve: batcher closed")
+
+// batchItem is one in-flight prediction: the encoded graph, the model
+// revision captured at request time, and the slot the result lands in.
+type batchItem struct {
+	g     *features.Graph
+	entry *ModelEntry
+	pred  gnn.Prediction
+	err   error
+	done  chan struct{}
+}
+
+// Batcher coalesces concurrent predictions into micro-batches: the first
+// arrival opens a collection window (default 2ms) and the batch flushes
+// when the window closes or MaxBatch items queued, funnelling the whole
+// batch through the model's data-parallel PredictBatch path instead of N
+// independent forward passes. One flush loop runs at a time; arrivals
+// during a flush queue up in the channel and form the next batch, so the
+// forward pass and request collection pipeline naturally.
+type Batcher struct {
+	window  time.Duration
+	max     int
+	in      chan *batchItem
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	onBatch func(graphs int) // stats hook, called once per flushed batch
+}
+
+// NewBatcher starts the flush loop. window <= 0 flushes opportunistically
+// (whatever is queued, no waiting); max < 1 defaults to 64; queue bounds
+// the number of submitted-but-unflushed items.
+func NewBatcher(window time.Duration, max, queue int, onBatch func(int)) *Batcher {
+	if max < 1 {
+		max = 64
+	}
+	if queue < max {
+		queue = 4 * max
+	}
+	if onBatch == nil {
+		onBatch = func(int) {}
+	}
+	b := &Batcher{window: window, max: max, in: make(chan *batchItem, queue),
+		quit: make(chan struct{}), onBatch: onBatch}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// Predict submits one encoded graph bound to a model revision and blocks
+// until its batch has run. The model binding travels with the item, so a
+// hot swap between submission and flush still evaluates the model the
+// request was admitted under.
+func (b *Batcher) Predict(entry *ModelEntry, g *features.Graph) (gnn.Prediction, error) {
+	it := &batchItem{g: g, entry: entry, done: make(chan struct{})}
+	select {
+	case b.in <- it:
+	case <-b.quit:
+		return gnn.Prediction{}, errBatcherClosed
+	}
+	<-it.done
+	return it.pred, it.err
+}
+
+// Close stops the flush loop after failing any still-queued items. Callers
+// must stop submitting first (the HTTP server drains its handlers before
+// the batcher closes).
+func (b *Batcher) Close() {
+	close(b.quit)
+	b.wg.Wait()
+}
+
+func (b *Batcher) loop() {
+	defer b.wg.Done()
+	for {
+		var first *batchItem
+		select {
+		case first = <-b.in:
+		case <-b.quit:
+			b.failQueued()
+			return
+		}
+		batch := b.collect(first)
+		b.run(batch)
+	}
+}
+
+// collect gathers one micro-batch starting from the first arrival.
+func (b *Batcher) collect(first *batchItem) []*batchItem {
+	batch := []*batchItem{first}
+	if b.window <= 0 {
+		for len(batch) < b.max {
+			select {
+			case it := <-b.in:
+				batch = append(batch, it)
+			default:
+				return batch
+			}
+		}
+		return batch
+	}
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(batch) < b.max {
+		select {
+		case it := <-b.in:
+			batch = append(batch, it)
+		case <-timer.C:
+			return batch
+		}
+	}
+	return batch
+}
+
+// run evaluates one batch. Items are grouped by their bound model revision
+// (normally a single group; briefly two around a hot swap) and each group
+// rides the data-parallel batch-inference path.
+func (b *Batcher) run(batch []*batchItem) {
+	b.onBatch(len(batch))
+	groups := make(map[*ModelEntry][]*batchItem, 1)
+	for _, it := range batch {
+		groups[it.entry] = append(groups[it.entry], it)
+	}
+	for entry, items := range groups {
+		b.runGroup(entry, items)
+	}
+}
+
+func (b *Batcher) runGroup(entry *ModelEntry, items []*batchItem) {
+	// A validated model should never panic, but a forward-pass crash must
+	// fail the batch, not the server.
+	defer func() {
+		if r := recover(); r != nil {
+			for _, it := range items {
+				if it.err == nil && !closed(it.done) {
+					it.err = fmt.Errorf("serve: inference panic: %v", r)
+					close(it.done)
+				}
+			}
+		}
+	}()
+	graphs := make([]*features.Graph, len(items))
+	for i, it := range items {
+		graphs[i] = it.g
+	}
+	preds := entry.ZT.PredictEncoded(graphs)
+	for i, it := range items {
+		it.pred = preds[i]
+		close(it.done)
+	}
+}
+
+// closed reports whether ch has been closed (single-writer channels only).
+func closed(ch chan struct{}) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+		return false
+	}
+}
+
+// failQueued drains anything still in the queue at shutdown.
+func (b *Batcher) failQueued() {
+	for {
+		select {
+		case it := <-b.in:
+			it.err = errBatcherClosed
+			close(it.done)
+		default:
+			return
+		}
+	}
+}

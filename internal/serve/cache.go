@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"zerotune/internal/gnn"
+)
+
+// Cache is a bounded LRU over plan fingerprints with single-flight
+// semantics: the first request for a fingerprint becomes the leader and
+// computes the prediction; identical requests arriving while it is in
+// flight attach to the same entry and wait instead of spending a second
+// forward pass. Completed entries stay resident (LRU-evicted beyond the
+// size bound) until the model is swapped, which invalidates the whole
+// cache via a generation bump.
+type Cache struct {
+	mu  sync.Mutex
+	max int
+	gen uint64
+	m   map[Fingerprint]*cacheEntry
+	ll  *list.List // completed entries, front = most recently used
+
+	hits      uint64 // completed-entry lookups
+	coalesced uint64 // joins on an in-flight leader
+	misses    uint64
+	evictions uint64
+}
+
+// cacheEntry is one fingerprint's slot. done is closed once pred/err are
+// valid; elem is non-nil only while the entry is resident in the LRU list.
+type cacheEntry struct {
+	key  Fingerprint
+	gen  uint64
+	done chan struct{}
+	pred gnn.Prediction
+	err  error
+	elem *list.Element
+}
+
+// NewCache builds a cache bounded to max completed entries (min 1).
+func NewCache(max int) *Cache {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache{max: max, m: make(map[Fingerprint]*cacheEntry), ll: list.New()}
+}
+
+// Acquire looks up key. leader=true means the caller owns the computation
+// and must call Complete exactly once; leader=false means the entry is (or
+// will be) filled by someone else — Wait on it.
+func (c *Cache) Acquire(key Fingerprint) (e *cacheEntry, leader bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		select {
+		case <-e.done:
+			c.hits++
+			if e.elem != nil {
+				c.ll.MoveToFront(e.elem)
+			}
+		default:
+			c.coalesced++
+		}
+		return e, false
+	}
+	c.misses++
+	e = &cacheEntry{key: key, gen: c.gen, done: make(chan struct{})}
+	c.m[key] = e
+	return e, true
+}
+
+// Complete publishes the leader's result and inserts the entry into the
+// LRU (unless it errored or the cache was cleared since Acquire), evicting
+// the least recently used entries beyond the bound.
+func (c *Cache) Complete(e *cacheEntry, pred gnn.Prediction, err error) {
+	e.pred, e.err = pred, err
+	close(e.done)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil || e.gen != c.gen {
+		// Failed or stale: drop it so the next request retries, but only if
+		// the slot still belongs to this entry (a Clear may have replaced it).
+		if cur, ok := c.m[e.key]; ok && cur == e {
+			delete(c.m, e.key)
+		}
+		return
+	}
+	e.elem = c.ll.PushFront(e)
+	for c.ll.Len() > c.max {
+		back := c.ll.Back()
+		victim := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.m, victim.key)
+		c.evictions++
+	}
+}
+
+// Wait blocks until the entry is filled and returns its result.
+func (e *cacheEntry) Wait() (gnn.Prediction, error) {
+	<-e.done
+	return e.pred, e.err
+}
+
+// Clear invalidates every entry — called on model swap so predictions from
+// the old model can never answer for the new one. In-flight leaders finish
+// against the model they captured; their Complete sees the generation
+// mismatch and discards the entry, while their followers still get the
+// (old-model) result they attached to before the swap.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.gen++
+	c.m = make(map[Fingerprint]*cacheEntry)
+	c.ll.Init()
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Size      int
+	Hits      uint64
+	Coalesced uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Size: c.ll.Len(), Hits: c.hits, Coalesced: c.coalesced,
+		Misses: c.misses, Evictions: c.evictions}
+}

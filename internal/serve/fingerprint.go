@@ -1,0 +1,61 @@
+package serve
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"zerotune/internal/features"
+)
+
+// Fingerprint is a 128-bit canonical hash of a featurized plan — the cache
+// key of the serving layer.
+type Fingerprint [16]byte
+
+// PlanFingerprint hashes exactly the model-visible parts of an encoded
+// graph: operator feature vectors, resource feature vectors, data-flow
+// edges, mapping edges with instance counts, and the read-out position.
+// Node names, operator IDs and provenance fields (template, labels) are
+// deliberately excluded — two plans that featurize identically are
+// indistinguishable to the model and must share a cache slot. The mask is
+// hashed too so models with different feature visibility never collide
+// (the cache is additionally cleared on model swap; see Registry).
+func PlanFingerprint(g *features.Graph, mask features.Mask) Fingerprint {
+	h := fnv.New128a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+
+	wu(uint64(mask))
+	wu(uint64(len(g.OpNodes)))
+	for _, n := range g.OpNodes {
+		wu(uint64(n.Type))
+		for _, v := range n.Feat {
+			wf(v)
+		}
+	}
+	wu(uint64(len(g.ResNodes)))
+	for _, n := range g.ResNodes {
+		for _, v := range n.Feat {
+			wf(v)
+		}
+	}
+	wu(uint64(len(g.DataEdges)))
+	for _, e := range g.DataEdges {
+		wu(uint64(e[0])<<32 | uint64(uint32(e[1])))
+	}
+	wu(uint64(len(g.Mapping)))
+	for _, m := range g.Mapping {
+		wu(uint64(m.OpIdx))
+		wu(uint64(m.ResIdx))
+		wu(uint64(m.Instances))
+	}
+	wu(uint64(g.SinkIdx))
+
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}

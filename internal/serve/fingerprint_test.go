@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/features"
+	"zerotune/internal/queryplan"
+)
+
+func encodePlan(t *testing.T, degree int, rate float64) *features.Graph {
+	t.Helper()
+	c, err := cluster.New(4, cluster.SeenTypes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := queryplan.SpikeDetection(rate)
+	p := queryplan.NewPQP(q)
+	for _, o := range q.Ops {
+		p.SetDegree(o.ID, degree)
+	}
+	if err := cluster.Place(p, c); err != nil {
+		t.Fatal(err)
+	}
+	g, err := features.Encode(p, c, features.MaskAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	a := PlanFingerprint(encodePlan(t, 2, 10_000), features.MaskAll)
+	b := PlanFingerprint(encodePlan(t, 2, 10_000), features.MaskAll)
+	if a != b {
+		t.Fatal("identical plans fingerprint differently")
+	}
+}
+
+func TestFingerprintSensitivity(t *testing.T) {
+	base := PlanFingerprint(encodePlan(t, 2, 10_000), features.MaskAll)
+	if PlanFingerprint(encodePlan(t, 4, 10_000), features.MaskAll) == base {
+		t.Fatal("degree change not reflected in fingerprint")
+	}
+	if PlanFingerprint(encodePlan(t, 2, 20_000), features.MaskAll) == base {
+		t.Fatal("event-rate change not reflected in fingerprint")
+	}
+	if PlanFingerprint(encodePlan(t, 2, 10_000), features.MaskOperatorOnly) == base {
+		t.Fatal("mask change not reflected in fingerprint")
+	}
+}
+
+func TestFingerprintIgnoresNodeNames(t *testing.T) {
+	// Two clusters whose nodes differ only in name featurize identically
+	// and must share a cache slot.
+	build := func(prefix string) *features.Graph {
+		types := cluster.SeenTypes()
+		c := &cluster.Cluster{LinkGbps: 10}
+		for i := 0; i < 4; i++ {
+			c.Nodes = append(c.Nodes, cluster.Node{
+				Name: prefix + string(rune('a'+i)), Type: types[i%len(types)],
+			})
+		}
+		p := queryplan.NewPQP(queryplan.SpikeDetection(10_000))
+		if err := cluster.Place(p, c); err != nil {
+			t.Fatal(err)
+		}
+		g, err := features.Encode(p, c, features.MaskAll)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+	if PlanFingerprint(build("x-"), features.MaskAll) != PlanFingerprint(build("y-"), features.MaskAll) {
+		t.Fatal("node renaming changed the fingerprint")
+	}
+}

@@ -1,0 +1,117 @@
+package serve
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/core"
+	"zerotune/internal/queryplan"
+)
+
+// ModelEntry is one immutable model revision. The registry swaps a pointer
+// to it; in-flight requests keep using the entry they captured, so a swap
+// never blocks or corrupts running predictions.
+type ModelEntry struct {
+	ZT       *core.ZeroTune
+	ID       string // content hash of the model bytes, "sha256:<12 hex>"
+	Path     string // source file, empty for in-memory models
+	Gen      uint64 // monotonically increasing swap counter
+	LoadedAt time.Time
+}
+
+// Registry holds the currently served model behind an atomic pointer and
+// implements the load-validate-swap reload protocol: the candidate file is
+// fully parsed, structurally validated (core.Load) and probe-evaluated
+// before the pointer moves, so a truncated or corrupt file leaves the old
+// model serving untouched.
+type Registry struct {
+	cur atomic.Pointer[ModelEntry]
+	gen atomic.Uint64
+	mu  sync.Mutex // serializes reloads; reads are lock-free
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Current returns the active model revision, or nil before the first
+// install.
+func (r *Registry) Current() *ModelEntry { return r.cur.Load() }
+
+// Install activates an in-memory model (tests, embedded serving). The id
+// may be empty; a generation-derived one is assigned.
+func (r *Registry) Install(zt *core.ZeroTune, id, path string) *ModelEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id == "" {
+		id = fmt.Sprintf("mem:%d", r.gen.Load()+1)
+	}
+	e := &ModelEntry{ZT: zt, ID: id, Path: path, Gen: r.gen.Add(1), LoadedAt: time.Now()}
+	r.cur.Store(e)
+	return e
+}
+
+// LoadFile reads, validates and probe-evaluates a model file without
+// swapping it in.
+func (r *Registry) LoadFile(path string) (*ModelEntry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: read model: %w", err)
+	}
+	zt, err := core.Load(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	if err := probe(zt); err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(data)
+	return &ModelEntry{ZT: zt, ID: fmt.Sprintf("sha256:%x", sum[:6]), Path: path, LoadedAt: time.Now()}, nil
+}
+
+// Swap validates the file at path and atomically makes it the served
+// model, returning the displaced and the new entries.
+func (r *Registry) Swap(path string) (old, cur *ModelEntry, err error) {
+	e, err := r.LoadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old = r.cur.Load()
+	e.Gen = r.gen.Add(1)
+	r.cur.Store(e)
+	return old, e, nil
+}
+
+// probe runs one end-to-end forward pass on a tiny built-in plan so a model
+// that decodes and validates but still crashes (or yields non-finite costs)
+// is rejected before it ever serves traffic.
+func probe(zt *core.ZeroTune) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: model probe panicked: %v", r)
+		}
+	}()
+	c, err := cluster.New(1, cluster.SeenTypes(), 10)
+	if err != nil {
+		return err
+	}
+	p := queryplan.NewPQP(queryplan.SpikeDetection(10_000))
+	pred, err := zt.Predict(p, c)
+	if err != nil {
+		return fmt.Errorf("serve: model probe: %w", err)
+	}
+	if !finite(pred.LatencyMs) || !finite(pred.ThroughputEPS) {
+		return fmt.Errorf("serve: model probe produced non-finite costs (lat=%v tpt=%v)",
+			pred.LatencyMs, pred.ThroughputEPS)
+	}
+	return nil
+}
+
+func finite(v float64) bool { return v == v && v < 1e300 && v > -1e300 }

@@ -1,0 +1,327 @@
+// Package serve exposes a trained ZeroTune model as an online HTTP
+// prediction/tuning service — the request path of the north-star system:
+// many small cost queries over a shared read-only model.
+//
+// The pipeline per /v1/predict request:
+//
+//  1. Wire: decode the plan + cluster spec (the canonical queryplan JSON).
+//  2. Encode: place the plan and featurize it under the model's mask —
+//     the same graph a direct core.Predict call would evaluate.
+//  3. Fingerprint + cache: a canonical hash over the featurized graph
+//     keys a bounded LRU with single-flight semantics, so repeated and
+//     concurrent-identical plans cost one forward pass.
+//  4. Micro-batching: cache leaders enter a coalescing window (default
+//     2ms / 64 plans) and whole batches ride the model's data-parallel
+//     PredictBatch path instead of N independent forward passes.
+//
+// /v1/tune runs the optimizer's candidate sweep (itself batched through
+// the same inference path). /v1/reload hot-swaps the served model via
+// load-validate-swap on an atomic pointer — in-flight predictions keep the
+// revision they started with. /healthz reports the active model identity
+// and /metrics exports counters and histograms as plain text.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"zerotune/internal/optimizer"
+)
+
+// Options configures the server.
+type Options struct {
+	// BatchWindow is how long the coalescer holds the first request of a
+	// batch waiting for companions (default 2ms; negative disables
+	// waiting, flushing whatever has queued).
+	BatchWindow time.Duration
+	// MaxBatch flushes a batch early once this many plans queued
+	// (default 64).
+	MaxBatch int
+	// QueueDepth bounds submitted-but-unflushed predictions (default
+	// 4×MaxBatch).
+	QueueDepth int
+	// CacheSize bounds the plan-fingerprint cache (default 4096 entries).
+	CacheSize int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.BatchWindow == 0 {
+		o.BatchWindow = 2 * time.Millisecond
+	}
+	if o.MaxBatch < 1 {
+		o.MaxBatch = 64
+	}
+	if o.CacheSize < 1 {
+		o.CacheSize = 4096
+	}
+	return o
+}
+
+// Server is the HTTP serving layer over a model registry.
+type Server struct {
+	opts    Options
+	reg     *Registry
+	cache   *Cache
+	batcher *Batcher
+	stats   *Stats
+	mux     *http.ServeMux
+}
+
+// New builds a server around an empty registry; install a model with
+// Registry().Install or ServeModelFile before serving predictions.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		reg:   NewRegistry(),
+		cache: NewCache(opts.CacheSize),
+		stats: NewStats(),
+		mux:   http.NewServeMux(),
+	}
+	s.batcher = NewBatcher(opts.BatchWindow, opts.MaxBatch, opts.QueueDepth, func(n int) {
+		s.stats.Batches.Add(1)
+		s.stats.Inferences.Add(uint64(n))
+		s.stats.BatchSizes.Observe(float64(n))
+	})
+	s.mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
+	s.mux.HandleFunc("POST /v1/tune", s.instrument("tune", s.handleTune))
+	s.mux.HandleFunc("POST /v1/reload", s.instrument("reload", s.handleReload))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Registry exposes the model registry (startup installs, tests).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// ServeModelFile loads, validates and installs the model at path.
+func (s *Server) ServeModelFile(path string) (*ModelEntry, error) {
+	_, e, err := s.reg.Swap(path)
+	if err != nil {
+		return nil, err
+	}
+	s.cache.Clear()
+	return e, nil
+}
+
+// Close drains the coalescer. Call after the HTTP listener has shut down
+// (handlers must be done submitting).
+func (s *Server) Close() { s.batcher.Close() }
+
+// Summary renders the shutdown digest of every counter.
+func (s *Server) Summary() string {
+	return s.stats.Summary(s.cache.Stats(), s.reg.Current())
+}
+
+// Snapshot flattens the counters for tests and callers.
+func (s *Server) Snapshot() Snapshot {
+	snap := Snapshot{
+		Requests:   make(map[string]uint64, len(endpointNames)),
+		Errors:     make(map[string]uint64, len(endpointNames)),
+		Batches:    s.stats.Batches.Load(),
+		Inferences: s.stats.Inferences.Load(),
+		MaxBatch:   s.stats.maxBatch(),
+		Reloads:    s.stats.Reloads.Load(),
+		Cache:      s.cache.Stats(),
+	}
+	for _, name := range endpointNames {
+		ep := s.stats.Endpoint(name)
+		snap.Requests[name] = ep.Requests.Load()
+		snap.Errors[name] = ep.Errors.Load()
+	}
+	return snap
+}
+
+// statusWriter remembers the response code for error counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request counting and latency tracking.
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.stats.Endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		defer drainBody(r)
+		h(sw, r)
+		ep.Requests.Add(1)
+		if sw.status >= 400 {
+			ep.Errors.Add(1)
+		}
+		ep.Latency.Observe(time.Since(start).Seconds())
+	}
+}
+
+// activeModel fetches the served model or reports 503.
+func (s *Server) activeModel(w http.ResponseWriter) *ModelEntry {
+	entry := s.reg.Current()
+	if entry == nil {
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: no model installed"))
+		return nil
+	}
+	return entry
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	var req PredictRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Plan == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: request has no plan"))
+		return
+	}
+	c, err := req.Cluster.Build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry := s.activeModel(w)
+	if entry == nil {
+		return
+	}
+	// Encode once; the graph is both the cache key and the model input.
+	g, err := entry.ZT.EncodePlan(req.Plan, c)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	fp := PlanFingerprint(g, entry.ZT.Mask)
+	e, leader := s.cache.Acquire(fp)
+	if !leader {
+		pred, err := e.Wait()
+		if err != nil {
+			writeError(w, http.StatusServiceUnavailable, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, PredictResponse{
+			LatencyMs: pred.LatencyMs, ThroughputEPS: pred.ThroughputEPS,
+			Cached: true, ModelID: entry.ID,
+		})
+		return
+	}
+	pred, err := s.batcher.Predict(entry, g)
+	s.cache.Complete(e, pred, err)
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		LatencyMs: pred.LatencyMs, ThroughputEPS: pred.ThroughputEPS,
+		Cached: false, ModelID: entry.ID,
+	})
+}
+
+func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
+	var req TuneRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Query == nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: request has no query"))
+		return
+	}
+	c, err := req.Cluster.Build()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	entry := s.activeModel(w)
+	if entry == nil {
+		return
+	}
+	opts := optimizer.DefaultTuneOptions()
+	if req.Weight != nil {
+		opts.Weight = *req.Weight
+	}
+	if req.RandomCandidates != nil {
+		opts.RandomCandidates = *req.RandomCandidates
+	}
+	if req.Seed != 0 {
+		opts.Seed = req.Seed
+	}
+	res, err := entry.ZT.Tune(req.Query, c, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, TuneResponse{
+		Degrees:       degreesByOp(res.Plan),
+		DegreesVector: res.Plan.DegreesVector(),
+		LatencyMs:     res.Estimate.LatencyMs,
+		ThroughputEPS: res.Estimate.ThroughputEPS,
+		Candidates:    res.Candidates,
+		Cost:          res.Cost,
+		ModelID:       entry.ID,
+	})
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	var req ReloadRequest
+	// An empty body is a valid "reload what you're serving" request.
+	if err := decodeJSON(w, r, &req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	path := req.Path
+	if path == "" {
+		if cur := s.reg.Current(); cur != nil {
+			path = cur.Path
+		}
+	}
+	if path == "" {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reload needs a model path"))
+		return
+	}
+	old, cur, err := s.reg.Swap(path)
+	if err != nil {
+		// Load-validate-swap: a bad file leaves the old model serving.
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	s.cache.Clear()
+	s.stats.Reloads.Add(1)
+	resp := ReloadResponse{ModelID: cur.ID, Path: cur.Path}
+	if old != nil {
+		resp.PreviousModelID = old.ID
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	entry := s.reg.Current()
+	if entry == nil {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "no model"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status: "ok",
+		Model: ModelInfo{
+			ID: entry.ID, Path: entry.Path, Params: entry.ZT.Model.NumParams(),
+			Mask: entry.ZT.Mask.String(), Gen: entry.Gen,
+			LoadedAt:  entry.LoadedAt.UTC().Format(time.RFC3339),
+			UptimeSec: int64(time.Since(entry.LoadedAt).Seconds()),
+		},
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.stats.WriteMetrics(w, s.cache.Stats(), s.reg.Current())
+}

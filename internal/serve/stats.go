@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zerotune/internal/metrics"
+)
+
+// Histogram is a concurrency-safe fixed-bucket histogram that additionally
+// keeps a ring of recent observations for quantile summaries (quantiles
+// from buckets alone would be bound-quantized). Bounds are upper bucket
+// edges; observations above the last bound land in the implicit +Inf
+// bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1, last is +Inf
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+	ring []float64
+	pos  int
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds,
+// remembering the last ringSize observations for quantiles.
+func NewHistogram(bounds []float64, ringSize int) *Histogram {
+	if ringSize < 1 {
+		ringSize = 1024
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+		ring:   make([]float64, 0, ringSize),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.min = math.Min(h.min, v)
+	h.max = math.Max(h.max, v)
+	if len(h.ring) < cap(h.ring) {
+		h.ring = append(h.ring, v)
+	} else {
+		h.ring[h.pos] = v
+		h.pos = (h.pos + 1) % cap(h.ring)
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy for rendering.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+	Min    float64
+	Max    float64
+	// Quantiles over the recent-observation ring; nil when no data yet
+	// (TryQuantile keeps the empty case panic-free).
+	Quantiles map[float64]float64
+}
+
+// quantilePoints are the summary quantiles exported on /metrics.
+var quantilePoints = []float64{0.5, 0.9, 0.99}
+
+// Snapshot copies the histogram state and computes ring quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	ring := append([]float64(nil), h.ring...)
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count, Sum: h.sum, Min: h.min, Max: h.max,
+	}
+	h.mu.Unlock()
+	for _, q := range quantilePoints {
+		if v, ok := metrics.TryQuantile(ring, q); ok {
+			if s.Quantiles == nil {
+				s.Quantiles = make(map[float64]float64, len(quantilePoints))
+			}
+			s.Quantiles[q] = v
+		}
+	}
+	return s
+}
+
+// EndpointStats counts requests and errors and tracks latency for one
+// endpoint.
+type EndpointStats struct {
+	Requests atomic.Uint64
+	Errors   atomic.Uint64
+	Latency  *Histogram
+}
+
+// latencyBounds are the request-latency bucket edges in seconds.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// batchBounds are the micro-batch-size bucket edges.
+var batchBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// endpointNames fixes the per-endpoint stat keys and render order.
+var endpointNames = []string{"predict", "tune", "reload", "healthz", "metrics"}
+
+// Stats aggregates the server's observability state.
+type Stats struct {
+	start     time.Time
+	endpoints map[string]*EndpointStats
+
+	BatchSizes *Histogram
+	Batches    atomic.Uint64 // flushed micro-batches
+	Inferences atomic.Uint64 // graphs pushed through the model
+	Reloads    atomic.Uint64 // successful hot swaps
+}
+
+// NewStats builds the stat registry.
+func NewStats() *Stats {
+	s := &Stats{
+		start:      time.Now(),
+		endpoints:  make(map[string]*EndpointStats, len(endpointNames)),
+		BatchSizes: NewHistogram(batchBounds, 1024),
+	}
+	for _, name := range endpointNames {
+		s.endpoints[name] = &EndpointStats{Latency: NewHistogram(latencyBounds, 1024)}
+	}
+	return s
+}
+
+// Endpoint returns the named endpoint's stats (must be one of the fixed
+// endpoints).
+func (s *Stats) Endpoint(name string) *EndpointStats { return s.endpoints[name] }
+
+// Snapshot is the flattened counter view used by tests and the shutdown
+// summary.
+type Snapshot struct {
+	Requests   map[string]uint64
+	Errors     map[string]uint64
+	Batches    uint64
+	Inferences uint64
+	MaxBatch   float64
+	Reloads    uint64
+	Cache      CacheStats
+}
+
+// writeHistogram renders one histogram in the plain-text exposition
+// format.
+func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) {
+	sep := ""
+	if labels != "" {
+		sep = ","
+	}
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, s.Sum, name, s.Count)
+	} else {
+		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, s.Sum, name, labels, s.Count)
+	}
+	for _, q := range quantilePoints {
+		if v, ok := s.Quantiles[q]; ok {
+			fmt.Fprintf(w, "%s{%s%squantile=\"%g\"} %g\n", name, labels, sep, q, v)
+		}
+	}
+}
+
+// WriteMetrics renders every counter and histogram as plain text
+// (Prometheus exposition flavor).
+func (s *Stats) WriteMetrics(w io.Writer, cache CacheStats, model *ModelEntry) {
+	for _, name := range endpointNames {
+		ep := s.endpoints[name]
+		fmt.Fprintf(w, "zerotune_requests_total{endpoint=%q} %d\n", name, ep.Requests.Load())
+		fmt.Fprintf(w, "zerotune_request_errors_total{endpoint=%q} %d\n", name, ep.Errors.Load())
+	}
+	for _, name := range endpointNames {
+		writeHistogram(w, "zerotune_request_duration_seconds",
+			fmt.Sprintf("endpoint=%q", name), s.endpoints[name].Latency.Snapshot())
+	}
+	writeHistogram(w, "zerotune_batch_size", "", s.BatchSizes.Snapshot())
+	fmt.Fprintf(w, "zerotune_batches_total %d\n", s.Batches.Load())
+	fmt.Fprintf(w, "zerotune_inferences_total %d\n", s.Inferences.Load())
+	fmt.Fprintf(w, "zerotune_model_reloads_total %d\n", s.Reloads.Load())
+	fmt.Fprintf(w, "zerotune_cache_size %d\n", cache.Size)
+	fmt.Fprintf(w, "zerotune_cache_hits_total %d\n", cache.Hits)
+	fmt.Fprintf(w, "zerotune_cache_coalesced_total %d\n", cache.Coalesced)
+	fmt.Fprintf(w, "zerotune_cache_misses_total %d\n", cache.Misses)
+	fmt.Fprintf(w, "zerotune_cache_evictions_total %d\n", cache.Evictions)
+	if model != nil {
+		fmt.Fprintf(w, "zerotune_model_info{id=%q,path=%q,gen=\"%d\"} 1\n", model.ID, model.Path, model.Gen)
+	}
+	fmt.Fprintf(w, "zerotune_uptime_seconds %g\n", time.Since(s.start).Seconds())
+}
+
+// Summary renders a compact human-readable digest, logged on graceful
+// shutdown.
+func (s *Stats) Summary(cache CacheStats, model *ModelEntry) string {
+	var b []byte
+	w := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	w("serve: uptime %s", time.Since(s.start).Round(time.Millisecond))
+	if model != nil {
+		w(", model %s (gen %d)", model.ID, model.Gen)
+	}
+	w("\n")
+	for _, name := range endpointNames {
+		ep := s.endpoints[name]
+		n := ep.Requests.Load()
+		if n == 0 {
+			continue
+		}
+		ls := ep.Latency.Snapshot()
+		w("serve: %-8s %6d requests, %d errors", name, n, ep.Errors.Load())
+		if p50, ok := ls.Quantiles[0.5]; ok {
+			p99 := ls.Quantiles[0.99]
+			w(", p50 %.3fms p99 %.3fms", p50*1e3, p99*1e3)
+		}
+		w("\n")
+	}
+	bs := s.BatchSizes.Snapshot()
+	if bs.Count > 0 {
+		w("serve: %d batches, %d graphs inferred, mean batch %.2f, max batch %.0f\n",
+			s.Batches.Load(), s.Inferences.Load(), bs.Sum/float64(bs.Count), bs.Max)
+	}
+	w("serve: cache %d entries, %d hits, %d coalesced, %d misses, %d evictions, %d reloads",
+		cache.Size, cache.Hits, cache.Coalesced, cache.Misses, cache.Evictions, s.Reloads.Load())
+	return string(b)
+}
+
+// maxBatch reports the largest flushed batch so far (0 before the first).
+func (s *Stats) maxBatch() float64 {
+	bs := s.BatchSizes.Snapshot()
+	if bs.Count == 0 {
+		return 0
+	}
+	return bs.Max
+}

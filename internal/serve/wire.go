@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+)
+
+// Wire layer: the JSON request/response schema of the HTTP API. Plans and
+// queries reuse the canonical queryplan serialization (snake_case fields,
+// integer enum codes), so a plan file written for `zerotune simulate -plan`
+// is a valid /v1/predict payload verbatim.
+
+// maxBodyBytes bounds request bodies; a parallel query plan is a few KB,
+// so anything near the limit is abuse, not workload.
+const maxBodyBytes = 8 << 20
+
+// ClusterSpec describes the target cluster on the wire. Either give the
+// full node list (round-tripping cluster.Cluster) or the shorthand —
+// workers + node type names — which mirrors the CLI's -workers flag.
+type ClusterSpec struct {
+	// Full form: explicit nodes.
+	Nodes []cluster.Node `json:"nodes,omitempty"`
+	// Shorthand: assemble `workers` nodes round-robin from `node_types`
+	// (catalogue names; default: the seen training types).
+	Workers   int      `json:"workers,omitempty"`
+	NodeTypes []string `json:"node_types,omitempty"`
+	// LinkGbps applies to both forms (default 10).
+	LinkGbps float64 `json:"link_gbps,omitempty"`
+}
+
+// Build materializes the spec into a cluster.
+func (s *ClusterSpec) Build() (*cluster.Cluster, error) {
+	link := s.LinkGbps
+	if link == 0 {
+		link = 10
+	}
+	if len(s.Nodes) > 0 {
+		if s.Workers != 0 && s.Workers != len(s.Nodes) {
+			return nil, fmt.Errorf("serve: cluster gives %d nodes but workers=%d", len(s.Nodes), s.Workers)
+		}
+		if link <= 0 {
+			return nil, fmt.Errorf("serve: link speed must be positive, got %v", link)
+		}
+		c := &cluster.Cluster{Nodes: s.Nodes, LinkGbps: link}
+		seen := make(map[string]bool, len(c.Nodes))
+		for _, n := range c.Nodes {
+			if n.Name == "" {
+				return nil, fmt.Errorf("serve: cluster node without a name")
+			}
+			if seen[n.Name] {
+				return nil, fmt.Errorf("serve: duplicate cluster node %q", n.Name)
+			}
+			seen[n.Name] = true
+			if n.Type.Cores < 1 {
+				return nil, fmt.Errorf("serve: node %q has %d cores", n.Name, n.Type.Cores)
+			}
+		}
+		return c, nil
+	}
+	if s.Workers < 1 {
+		return nil, fmt.Errorf("serve: cluster needs nodes or workers >= 1")
+	}
+	types := cluster.SeenTypes()
+	if len(s.NodeTypes) > 0 {
+		types = types[:0]
+		for _, name := range s.NodeTypes {
+			t, err := cluster.TypeByName(name)
+			if err != nil {
+				return nil, fmt.Errorf("serve: %w", err)
+			}
+			types = append(types, t)
+		}
+	}
+	return cluster.New(s.Workers, types, link)
+}
+
+// PredictRequest asks for the cost of one placed (or degree-annotated,
+// placement is derived) parallel plan on a cluster.
+type PredictRequest struct {
+	Plan    *queryplan.PQP `json:"plan"`
+	Cluster ClusterSpec    `json:"cluster"`
+}
+
+// PredictResponse is the model's cost estimate plus serving provenance.
+type PredictResponse struct {
+	LatencyMs     float64 `json:"latency_ms"`
+	ThroughputEPS float64 `json:"throughput_eps"`
+	// Cached reports whether the answer came from the plan-fingerprint
+	// cache (including single-flight joins on an in-flight twin).
+	Cached bool `json:"cached"`
+	// ModelID identifies the model revision that produced the estimate.
+	ModelID string `json:"model_id"`
+}
+
+// TuneRequest asks the optimizer to pick parallelism degrees for a logical
+// query on a cluster (Eq. 1 weighted cost over the candidate sweep).
+type TuneRequest struct {
+	Query   *queryplan.Query `json:"query"`
+	Cluster ClusterSpec      `json:"cluster"`
+	// Weight is Eq. 1's wt in [0,1], default 0.5 when omitted. A pointer so
+	// an explicit 0 (throughput-only) is distinguishable from "unset".
+	Weight *float64 `json:"weight,omitempty"`
+	// RandomCandidates widens the candidate sweep (default 16).
+	RandomCandidates *int `json:"random_candidates,omitempty"`
+	// Seed drives candidate exploration (default 1).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// TuneResponse reports the recommended configuration and its estimate.
+type TuneResponse struct {
+	Degrees       map[string]int `json:"degrees"` // operator ID → degree
+	DegreesVector []int          `json:"degrees_vector"`
+	LatencyMs     float64        `json:"latency_ms"`
+	ThroughputEPS float64        `json:"throughput_eps"`
+	Candidates    int            `json:"candidates"`
+	Cost          float64        `json:"cost"`
+	ModelID       string         `json:"model_id"`
+}
+
+// ReloadRequest points the registry at a model file. An empty path re-reads
+// the currently served model's file (pick up an in-place retrain).
+type ReloadRequest struct {
+	Path string `json:"path,omitempty"`
+}
+
+// ReloadResponse reports the swap.
+type ReloadResponse struct {
+	PreviousModelID string `json:"previous_model_id"`
+	ModelID         string `json:"model_id"`
+	Path            string `json:"path"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status string    `json:"status"`
+	Model  ModelInfo `json:"model"`
+}
+
+// ModelInfo identifies the active model revision.
+type ModelInfo struct {
+	ID        string `json:"id"`
+	Path      string `json:"path,omitempty"`
+	Params    int    `json:"params"`
+	Mask      string `json:"mask"`
+	Gen       uint64 `json:"gen"`
+	LoadedAt  string `json:"loaded_at"`
+	UptimeSec int64  `json:"uptime_sec"`
+}
+
+// errorResponse is the uniform error envelope.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// decodeJSON reads one JSON value from the request body, rejecting trailing
+// garbage and oversized payloads.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("serve: decode request: %w", err)
+	}
+	if dec.More() {
+		return fmt.Errorf("serve: trailing data after request body")
+	}
+	return nil
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError writes the error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// degreesByOp renders a plan's parallelism map with string keys (JSON
+// object keys must be strings) in deterministic order for tests and logs.
+func degreesByOp(p *queryplan.PQP) map[string]int {
+	ids := make([]int, 0, len(p.Query.Ops))
+	for _, o := range p.Query.Ops {
+		ids = append(ids, o.ID)
+	}
+	sort.Ints(ids)
+	out := make(map[string]int, len(ids))
+	for _, id := range ids {
+		out[fmt.Sprint(id)] = p.Degree(id)
+	}
+	return out
+}
+
+// drainBody discards any unread remainder so keep-alive connections reuse
+// cleanly.
+func drainBody(r *http.Request) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, maxBodyBytes))
+	_ = r.Body.Close()
+}
