@@ -5,10 +5,10 @@
 // Usage:
 //
 //	zerotune datagen    -n 500 [-seed 1] [-structures linear,2-way-join]
-//	zerotune train      -n 3000 [-epochs 60] [-hidden 48] -out model.json
+//	zerotune train      -n 3000 [-epochs 60] [-hidden 48] -out model.json [-checkpoint ckpt.zt] [-checkpoint-every 5] [-resume ckpt.zt]
 //	zerotune predict    -model model.json -query spike-detection -rate 10000 [-workers 4] [-degree 4]
 //	zerotune tune       -model model.json -query 3-way-join -rate 100000 [-workers 6] [-weight 0.5]
-//	zerotune serve      -model model.json -addr 127.0.0.1:8080 [-batch-window 2ms] [-batch-max 64] [-cache-size 4096]
+//	zerotune serve      -model model.json -addr 127.0.0.1:8080 [-batch-window 2ms] [-batch-max 64] [-cache-size 4096] [-request-timeout 30s]
 //	zerotune simulate   -query linear -rate 100000 [-workers 4] [-degrees 1,4,4,1 | -plan plan.json]
 //	zerotune validate   -query linear -rate 5000 [-workers 2] [-duration 5000]
 //	zerotune experiment <id> [-scale quick|default|paper] [-csv dir]
@@ -29,7 +29,6 @@ import (
 	"zerotune/internal/cluster"
 	"zerotune/internal/core"
 	"zerotune/internal/experiments"
-	"zerotune/internal/gnn"
 	"zerotune/internal/optimizer"
 	"zerotune/internal/queryplan"
 	"zerotune/internal/workload"
@@ -117,59 +116,16 @@ func runDatagen(args []string) error {
 	return nil
 }
 
-func runTrain(args []string) error {
-	fs := flag.NewFlagSet("train", flag.ExitOnError)
-	n := fs.Int("n", 3000, "training corpus size")
-	epochs := fs.Int("epochs", 60, "training epochs")
-	hidden := fs.Int("hidden", 48, "hidden width")
-	seed := fs.Uint64("seed", 1, "random seed")
-	out := fs.String("out", "model.json", "output model path")
-	_ = fs.Parse(args)
-
-	gen := workload.NewSeenGenerator(*seed)
-	fmt.Fprintf(os.Stderr, "generating %d labelled queries...\n", *n)
-	items, err := gen.Generate(workload.SeenRanges().Structures, *n)
-	if err != nil {
-		return err
-	}
-	ds, err := workload.Split(items, 0.8, 0.1, *seed+1)
-	if err != nil {
-		return err
-	}
-	opts := core.DefaultTrainOptions()
-	opts.Model = gnn.Config{Hidden: *hidden, EncDepth: 1, HeadHidden: *hidden}
-	opts.Train.Epochs = *epochs
-	opts.Seed = *seed
-	opts.Train.Progress = func(epoch int, loss float64) {
-		if epoch%5 == 0 {
-			fmt.Fprintf(os.Stderr, "epoch %3d loss %.4f\n", epoch, loss)
-		}
-	}
-	zt, stats, err := core.Train(ds.Train, opts)
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "trained in %s, final loss %.4f\n", stats.Duration.Round(1e9), stats.FinalLoss)
-
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := zt.Save(f); err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "model written to %s\n", *out)
-	return nil
-}
-
 func loadModel(path string) (*core.ZeroTune, error) {
-	f, err := os.Open(path)
+	zt, legacy, err := core.LoadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return core.Load(f)
+	if legacy {
+		fmt.Fprintf(os.Stderr, "note: %s is a legacy bare-JSON model without a checksum; re-save it "+
+			"(zerotune train -out %s) to get the durable checksummed format\n", path, path)
+	}
+	return zt, nil
 }
 
 // buildQuery instantiates one of the benchmark query templates by name.
@@ -304,12 +260,21 @@ func runExperiment(args []string) error {
 		if !ok {
 			return nil
 		}
-		f, err := os.Create(filepath.Join(*csvDir, name+".csv"))
+		path := filepath.Join(*csvDir, name+".csv")
+		f, err := os.Create(path)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		return cw.WriteCSV(f)
+		// Close errors matter here: a full disk surfaces at Close, and a
+		// deferred unchecked Close would report a truncated CSV as success.
+		if err := cw.WriteCSV(f); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", path, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", path, err)
+		}
+		return nil
 	}
 
 	run := func(name string, fn func() (fmt.Stringer, error)) error {

@@ -25,12 +25,14 @@ func runServe(args []string) error {
 	maxBatch := fs.Int("batch-max", 64, "flush a micro-batch at this many plans")
 	cacheSize := fs.Int("cache-size", 4096, "plan-fingerprint cache entries")
 	drain := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-predict deadline before 503 (negative: unbounded)")
 	_ = fs.Parse(args)
 
 	s := serve.New(serve.Options{
-		BatchWindow: *window,
-		MaxBatch:    *maxBatch,
-		CacheSize:   *cacheSize,
+		BatchWindow:    *window,
+		MaxBatch:       *maxBatch,
+		CacheSize:      *cacheSize,
+		RequestTimeout: *reqTimeout,
 	})
 	entry, err := s.ServeModelFile(*model)
 	if err != nil {

@@ -1,0 +1,163 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"zerotune/internal/artifact"
+	"zerotune/internal/core"
+	"zerotune/internal/gnn"
+	"zerotune/internal/workload"
+)
+
+// trainCheckpointKind tags checkpoint artifacts so a model file and a
+// checkpoint file can never be confused for each other.
+const trainCheckpointKind = "zerotune-train-checkpoint"
+
+// trainCheckpoint is the durable snapshot of an in-flight training run.
+// The hyperparameters ride along because the corpus and the model skeleton
+// are regenerated from them on resume — a resume under different flags
+// would silently train a different model, so the stored values win.
+type trainCheckpoint struct {
+	N      int             `json:"n"`
+	Epochs int             `json:"epochs"`
+	Hidden int             `json:"hidden"`
+	Seed   uint64          `json:"seed"`
+	State  *gnn.Checkpoint `json:"state"`
+}
+
+func loadTrainCheckpoint(path string) (*trainCheckpoint, error) {
+	kind, payload, err := artifact.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("train: read checkpoint %s: %w", path, err)
+	}
+	if kind != trainCheckpointKind {
+		return nil, fmt.Errorf("train: %s is a %q artifact, not a training checkpoint", path, kind)
+	}
+	var ck trainCheckpoint
+	if err := json.Unmarshal(payload, &ck); err != nil {
+		return nil, fmt.Errorf("train: decode checkpoint %s: %w", path, err)
+	}
+	if ck.State == nil {
+		return nil, fmt.Errorf("train: checkpoint %s has no training state", path)
+	}
+	return &ck, nil
+}
+
+func saveTrainCheckpoint(path string, ck *trainCheckpoint) error {
+	payload, err := json.Marshal(ck)
+	if err != nil {
+		return err
+	}
+	return artifact.WriteFile(path, trainCheckpointKind, payload)
+}
+
+func runTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	n := fs.Int("n", 3000, "training corpus size")
+	epochs := fs.Int("epochs", 60, "training epochs")
+	hidden := fs.Int("hidden", 48, "hidden width")
+	seed := fs.Uint64("seed", 1, "random seed")
+	out := fs.String("out", "model.json", "output model path")
+	ckptPath := fs.String("checkpoint", "", "checkpoint file path (empty: checkpointing disabled)")
+	ckptEvery := fs.Int("checkpoint-every", 5, "checkpoint every N epochs")
+	resume := fs.String("resume", "", "resume from this checkpoint file")
+	_ = fs.Parse(args)
+
+	var resumed *trainCheckpoint
+	if *resume != "" {
+		ck, err := loadTrainCheckpoint(*resume)
+		if err != nil {
+			return err
+		}
+		resumed = ck
+		// Stored hyperparameters win: the corpus and model are rebuilt from
+		// them, so flag values that disagree are ignored (and said so).
+		if *n != ck.N || *epochs != ck.Epochs || *hidden != ck.Hidden || *seed != ck.Seed {
+			fmt.Fprintf(os.Stderr, "resume: using checkpointed hyperparameters (n=%d epochs=%d hidden=%d seed=%d)\n",
+				ck.N, ck.Epochs, ck.Hidden, ck.Seed)
+		}
+		*n, *epochs, *hidden, *seed = ck.N, ck.Epochs, ck.Hidden, ck.Seed
+		if *ckptPath == "" {
+			*ckptPath = *resume // keep checkpointing where we resumed from
+		}
+		fmt.Fprintf(os.Stderr, "resuming from %s at epoch %d/%d\n", *resume, ck.State.Epoch, ck.Epochs)
+	}
+
+	gen := workload.NewSeenGenerator(*seed)
+	fmt.Fprintf(os.Stderr, "generating %d labelled queries...\n", *n)
+	items, err := gen.Generate(workload.SeenRanges().Structures, *n)
+	if err != nil {
+		return err
+	}
+	ds, err := workload.Split(items, 0.8, 0.1, *seed+1)
+	if err != nil {
+		return err
+	}
+	opts := core.DefaultTrainOptions()
+	opts.Model = gnn.Config{Hidden: *hidden, EncDepth: 1, HeadHidden: *hidden}
+	opts.Train.Epochs = *epochs
+	opts.Seed = *seed
+	opts.Train.Progress = func(epoch int, loss float64) {
+		if epoch%5 == 0 {
+			fmt.Fprintf(os.Stderr, "epoch %3d loss %.4f\n", epoch, loss)
+		}
+	}
+	if resumed != nil {
+		opts.Train.Resume = resumed.State
+	}
+	if *ckptPath != "" {
+		wrapper := &trainCheckpoint{N: *n, Epochs: *epochs, Hidden: *hidden, Seed: *seed}
+		opts.Train.CheckpointEvery = *ckptEvery
+		opts.Train.Checkpoint = func(ck *gnn.Checkpoint) error {
+			wrapper.State = ck
+			return saveTrainCheckpoint(*ckptPath, wrapper)
+		}
+	}
+
+	// SIGINT/SIGTERM asks the trainer to finish the current epoch, write a
+	// final checkpoint, and stop — not to die mid-gradient-step.
+	interrupt := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		if got, ok := <-sig; ok {
+			fmt.Fprintf(os.Stderr, "received %s, checkpointing and stopping...\n", got)
+			close(interrupt)
+		}
+	}()
+	opts.Train.Interrupt = interrupt
+
+	zt, stats, err := core.Train(ds.Train, opts)
+	signal.Stop(sig)
+	close(sig)
+	if err != nil {
+		return err
+	}
+	if stats.Interrupted {
+		fmt.Fprintf(os.Stderr, "interrupted after epoch %d/%d", stats.Epochs, *epochs)
+		if *ckptPath != "" {
+			fmt.Fprintf(os.Stderr, "; resume with: zerotune train -resume %s -out %s", *ckptPath, *out)
+		}
+		fmt.Fprintln(os.Stderr)
+		return nil
+	}
+	fmt.Fprintf(os.Stderr, "trained in %s, final loss %.4f\n", stats.Duration.Round(1e9), stats.FinalLoss)
+
+	if err := zt.SaveFile(*out); err != nil {
+		return err
+	}
+	if *ckptPath != "" {
+		// The run completed and the model is durable; the checkpoint has
+		// served its purpose.
+		if err := os.Remove(*ckptPath); err != nil && !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "warning: could not remove checkpoint %s: %v\n", *ckptPath, err)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "model written to %s\n", *out)
+	return nil
+}

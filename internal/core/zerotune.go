@@ -9,7 +9,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 
+	"zerotune/internal/artifact"
 	"zerotune/internal/cluster"
 	"zerotune/internal/features"
 	"zerotune/internal/gnn"
@@ -204,37 +206,93 @@ func (z *ZeroTune) QErrors(items []*workload.Item) (latQ, tptQ []float64, err er
 	return latQ, tptQ, nil
 }
 
-// persisted is the on-disk model format.
+// persisted is the model payload inside the artifact envelope (and the
+// whole file in the legacy bare-JSON format).
 type persisted struct {
 	Mask  features.Mask `json:"mask"`
 	Model *gnn.Model    `json:"model"`
 }
 
-// Save writes the model to w as JSON.
+// ModelArtifactKind tags model payloads inside the artifact envelope.
+const ModelArtifactKind = "zerotune-model"
+
+// Save writes the model to w in the versioned, checksummed artifact
+// envelope. Writing to a file should go through SaveFile instead, which
+// additionally makes the write atomic and durable.
 func (z *ZeroTune) Save(w io.Writer) error {
-	return json.NewEncoder(w).Encode(persisted{Mask: z.Mask, Model: z.Model})
+	payload, err := json.Marshal(persisted{Mask: z.Mask, Model: z.Model})
+	if err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return artifact.Encode(w, ModelArtifactKind, payload)
+}
+
+// SaveFile durably writes the model to path: envelope with checksum, temp
+// file, fsync, atomic rename. A crash mid-write leaves the previous file
+// intact, and a concurrent reader — including the serve registry's hot
+// reload — never observes a torn file.
+func (z *ZeroTune) SaveFile(path string) error {
+	payload, err := json.Marshal(persisted{Mask: z.Mask, Model: z.Model})
+	if err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return artifact.WriteFile(path, ModelArtifactKind, payload)
 }
 
 // Load reads a model previously written with Save. It rejects truncated or
 // structurally corrupt payloads with a descriptive error instead of handing
 // back a model that would panic on its first forward pass — the serving
 // layer's hot-reload endpoint depends on a bad file never taking down a
-// running server.
+// running server. Both the artifact envelope and the legacy (deprecated)
+// bare-JSON format are accepted; see LoadFile to detect which one was read.
 func Load(r io.Reader) (*ZeroTune, error) {
-	var p persisted
-	if err := json.NewDecoder(r).Decode(&p); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("core: load model: %w", err)
+	}
+	zt, _, err := loadBytes(data)
+	return zt, err
+}
+
+// LoadFile reads a model file and additionally reports whether it used the
+// legacy pre-envelope bare-JSON format. Legacy files lack the checksum that
+// detects torn writes and bit rot; callers should surface a deprecation
+// note and re-save with SaveFile.
+func LoadFile(path string) (zt *ZeroTune, legacy bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false, err
+	}
+	return loadBytes(data)
+}
+
+// loadBytes decodes either format and validates the model.
+func loadBytes(data []byte) (*ZeroTune, bool, error) {
+	payload, legacy := data, true
+	if artifact.IsEnvelope(data) {
+		kind, p, err := artifact.DecodeBytes(data)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: load model: %w", err)
+		}
+		if kind != ModelArtifactKind {
+			return nil, false, fmt.Errorf("core: load model: artifact is a %q, not a %q", kind, ModelArtifactKind)
+		}
+		payload, legacy = p, false
+	}
+	var p persisted
+	if err := json.Unmarshal(payload, &p); err != nil {
+		return nil, legacy, fmt.Errorf("core: load model: %w", err)
 	}
 	if p.Model == nil {
-		return nil, fmt.Errorf("core: load model: missing model payload")
+		return nil, legacy, fmt.Errorf("core: load model: missing model payload")
 	}
 	if p.Mask != features.MaskAll && p.Mask != features.MaskOperatorOnly && p.Mask != features.MaskParallelismResource {
-		return nil, fmt.Errorf("core: load model: unknown feature mask %d", int(p.Mask))
+		return nil, legacy, fmt.Errorf("core: load model: unknown feature mask %d", int(p.Mask))
 	}
 	if err := p.Model.Validate(); err != nil {
-		return nil, fmt.Errorf("core: load model: %w", err)
+		return nil, legacy, fmt.Errorf("core: load model: %w", err)
 	}
-	return &ZeroTune{Model: p.Model, Mask: p.Mask}, nil
+	return &ZeroTune{Model: p.Model, Mask: p.Mask}, legacy, nil
 }
 
 // MetricModel predicts one additional cost metric (e.g. resource usage) on

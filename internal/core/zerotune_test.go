@@ -2,9 +2,14 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"zerotune/internal/artifact"
 	"zerotune/internal/cluster"
 	"zerotune/internal/features"
 	"zerotune/internal/gnn"
@@ -294,6 +299,79 @@ func TestLoadRejectsStructurallyCorruptModel(t *testing.T) {
 	}
 	if _, err := Load(bytes.NewReader(corrupt)); err == nil {
 		t.Fatal("accepted unknown feature mask")
+	}
+}
+
+func TestSaveFileLoadFileRoundTrip(t *testing.T) {
+	zt, ds := smallTrained(t, 60, 3)
+	path := filepath.Join(t.TempDir(), "model.zt")
+	if err := zt.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, legacy, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy {
+		t.Fatal("SaveFile output reported as legacy format")
+	}
+	a, _, err := zt.QErrors(ds.Test[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := loaded.QErrors(ds.Test[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("file round-tripped model predicts differently")
+		}
+	}
+}
+
+// TestLoadLegacyBareJSON keeps the pre-envelope format readable: a model
+// saved by an older build (bare JSON, no checksum) must still load, flagged
+// as legacy so callers can surface the deprecation.
+func TestLoadLegacyBareJSON(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 3)
+	legacyBytes, err := json.Marshal(persisted{Mask: zt.Mask, Model: zt.Model})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(bytes.NewReader(legacyBytes))
+	if err != nil {
+		t.Fatalf("legacy bare-JSON model rejected: %v", err)
+	}
+	if loaded.Model.NumParams() != zt.Model.NumParams() {
+		t.Fatal("legacy load dropped parameters")
+	}
+	path := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(path, legacyBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, legacy, err := LoadFile(path); err != nil || !legacy {
+		t.Fatalf("LoadFile(legacy) = legacy=%v err=%v, want legacy=true", legacy, err)
+	}
+}
+
+// TestLoadRejectsBitFlippedEnvelope flips a payload byte inside the
+// envelope: the checksum must catch it and say so, instead of JSON-decoding
+// garbage weights.
+func TestLoadRejectsBitFlippedEnvelope(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 3)
+	var buf bytes.Buffer
+	if err := zt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x20
+	_, err := Load(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("accepted bit-flipped model file")
+	}
+	if !errors.Is(err, artifact.ErrChecksum) {
+		t.Fatalf("corruption not reported as a checksum mismatch: %v", err)
 	}
 }
 

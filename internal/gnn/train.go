@@ -36,6 +36,25 @@ type TrainConfig struct {
 	Val []*features.Graph
 	// Patience is the early-stopping tolerance in epochs (0 = 8).
 	Patience int
+
+	// Checkpoint, when non-nil, receives a resumable state snapshot every
+	// CheckpointEvery epochs, after the final epoch, and at the interrupt
+	// boundary. The hook owns persistence (the CLI writes snapshots through
+	// the atomic artifact writer); a non-nil return aborts training with
+	// that error.
+	Checkpoint func(*Checkpoint) error
+	// CheckpointEvery is the epoch interval between Checkpoint calls
+	// (values below 1 mean every epoch).
+	CheckpointEvery int
+	// Resume continues a run from a snapshot instead of starting at epoch
+	// zero. The resumed run is bit-identical to an uninterrupted run with
+	// the same config, corpus and worker count.
+	Resume *Checkpoint
+	// Interrupt, when non-nil, requests a clean stop: once it is closed,
+	// training halts at the next epoch boundary — after a final Checkpoint
+	// call — and TrainStats.Interrupted reports the early exit. This is how
+	// SIGINT/SIGTERM becomes a resumable checkpoint instead of lost work.
+	Interrupt <-chan struct{}
 }
 
 // DefaultTrainConfig returns the settings used by the experiments.
@@ -66,12 +85,15 @@ func LogTarget(x float64) float64 { return math.Log10(x + 1e-3) }
 
 // TrainStats summarizes a training run.
 type TrainStats struct {
-	Epochs    int // epochs actually run (≤ configured with early stopping)
+	Epochs    int // total epochs completed, including epochs before a resume
 	FinalLoss float64
 	Duration  time.Duration
 	// BestValLoss is the validation loss of the restored weights (0 when
 	// no validation set was given).
 	BestValLoss float64
+	// Interrupted reports that cfg.Interrupt stopped the run at an epoch
+	// boundary; the last Checkpoint call holds the state to resume from.
+	Interrupted bool
 }
 
 // maxGradShards fixes the number of logical gradient shards per minibatch.
@@ -185,9 +207,27 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 	var bestSnap [][]float64
 	sinceBest := 0
 
+	startEpoch := 0
+	if cfg.Resume != nil {
+		if err := cfg.Resume.restore(params, opt, rng, idx, len(graphs)); err != nil {
+			return TrainStats{}, err
+		}
+		startEpoch = cfg.Resume.Epoch
+		if cfg.Resume.BestParams != nil {
+			bestVal = cfg.Resume.BestVal
+			bestSnap = copyTensors(cfg.Resume.BestParams)
+			sinceBest = cfg.Resume.SinceBest
+		}
+	}
+	ckptEvery := cfg.CheckpointEvery
+	if ckptEvery < 1 {
+		ckptEvery = 1
+	}
+
 	var meanLoss float64
-	epochsRun := 0
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	epochsRun := startEpoch
+	interrupted := false
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		epochsRun = epoch + 1
 		rng.Shuffle(idx)
 		var epochLoss float64
@@ -237,6 +277,7 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, meanLoss)
 		}
+		earlyStop := false
 		if len(cfg.Val) > 0 {
 			valLoss := evalLoss(m, cfg.Val, cfg.HuberDelta, workers)
 			if valLoss < bestVal {
@@ -251,14 +292,36 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 				sinceBest = 0
 			} else {
 				sinceBest++
-				if sinceBest >= patience {
-					break // early stop: validation plateaued
+				earlyStop = sinceBest >= patience // validation plateaued
+			}
+		}
+		if cfg.Interrupt != nil && !interrupted {
+			select {
+			case <-cfg.Interrupt:
+				interrupted = true
+			default:
+			}
+		}
+		if cfg.Checkpoint != nil && !earlyStop {
+			// On schedule, at the natural end, and at an interrupt boundary
+			// (so a signal loses at most the in-progress epoch, never the
+			// run). An early stop completes the run, so no snapshot needed.
+			if (epoch+1)%ckptEvery == 0 || epoch == cfg.Epochs-1 || interrupted {
+				ck := captureCheckpoint(epoch+1, params, opt, rng, idx, bestVal, bestSnap, sinceBest)
+				if err := cfg.Checkpoint(ck); err != nil {
+					return TrainStats{}, fmt.Errorf("gnn: checkpoint after epoch %d: %w", epoch+1, err)
 				}
 			}
 		}
+		if earlyStop || interrupted {
+			break
+		}
 	}
-	stats := TrainStats{Epochs: epochsRun, FinalLoss: meanLoss, Duration: time.Since(start)}
-	if bestSnap != nil {
+	stats := TrainStats{Epochs: epochsRun, FinalLoss: meanLoss, Duration: time.Since(start), Interrupted: interrupted}
+	if !interrupted && bestSnap != nil {
+		// An interrupted run keeps the latest weights: restoring the best-so-
+		// far would bake early-stopping into the checkpointed trajectory and
+		// break bit-identical resume.
 		restoreParams(params, bestSnap)
 		stats.BestValLoss = bestVal
 	}

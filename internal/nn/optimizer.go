@@ -1,6 +1,9 @@
 package nn
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Optimizer updates parameters from their accumulated gradients.
 type Optimizer interface {
@@ -82,6 +85,59 @@ func (a *Adam) Step(params []Param) {
 			p.Value[j] -= a.LR * (mHat/(math.Sqrt(vHat)+a.Eps) + a.WeightDecay*p.Value[j])
 		}
 	}
+}
+
+// AdamState is the optimizer's serializable internal state: the step count
+// and both moment estimates. Together with the parameter values it is
+// everything needed to resume an interrupted training run bit-identically —
+// restarting Adam from scratch would reset the bias-correction schedule and
+// the moment history, diverging from the uninterrupted run on the first
+// step.
+type AdamState struct {
+	T int         `json:"t"`
+	M [][]float64 `json:"m"`
+	V [][]float64 `json:"v"`
+}
+
+// State deep-copies the optimizer's moments for checkpointing. Before the
+// first Step the moments are nil and the state resumes as a fresh optimizer.
+func (a *Adam) State() AdamState {
+	s := AdamState{T: a.t}
+	if a.m != nil {
+		s.M = make([][]float64, len(a.m))
+		s.V = make([][]float64, len(a.v))
+		for i := range a.m {
+			s.M[i] = append([]float64(nil), a.m[i]...)
+			s.V[i] = append([]float64(nil), a.v[i]...)
+		}
+	}
+	return s
+}
+
+// SetState restores a checkpointed state, deep-copying so the checkpoint
+// stays immutable. It returns an error when the moment shapes cannot belong
+// to the same parameter set the optimizer will step.
+func (a *Adam) SetState(s AdamState) error {
+	if len(s.M) != len(s.V) {
+		return fmt.Errorf("nn: adam state has %d first moments but %d second moments", len(s.M), len(s.V))
+	}
+	for i := range s.M {
+		if len(s.M[i]) != len(s.V[i]) {
+			return fmt.Errorf("nn: adam moment %d: m has %d values, v has %d", i, len(s.M[i]), len(s.V[i]))
+		}
+	}
+	a.t = s.T
+	if s.M == nil {
+		a.m, a.v = nil, nil
+		return nil
+	}
+	a.m = make([][]float64, len(s.M))
+	a.v = make([][]float64, len(s.V))
+	for i := range s.M {
+		a.m[i] = append([]float64(nil), s.M[i]...)
+		a.v[i] = append([]float64(nil), s.V[i]...)
+	}
+	return nil
 }
 
 // ClipGradNorm rescales all gradients so the global L2 norm does not exceed

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,8 +10,18 @@ import (
 	"zerotune/internal/gnn"
 )
 
-// errBatcherClosed is returned for predictions submitted after shutdown.
-var errBatcherClosed = fmt.Errorf("serve: batcher closed")
+var (
+	// errBatcherClosed is returned for predictions submitted after shutdown.
+	errBatcherClosed = errors.New("serve: batcher closed")
+	// errQueueFull is returned when the submission queue is at capacity —
+	// backpressure the HTTP layer maps to 429 instead of letting requests
+	// pile up blocked inside the process.
+	errQueueFull = errors.New("serve: prediction queue full")
+	// errPredictTimeout is returned when a submitted prediction's batch did
+	// not run within the deadline (a wedged or overloaded flush loop); the
+	// HTTP layer maps it to 503 so clients fail fast instead of hanging.
+	errPredictTimeout = errors.New("serve: prediction deadline exceeded")
+)
 
 // batchItem is one in-flight prediction: the encoded graph, the model
 // revision captured at request time, and the slot the result lands in.
@@ -30,18 +41,28 @@ type batchItem struct {
 // during a flush queue up in the channel and form the next batch, so the
 // forward pass and request collection pipeline naturally.
 type Batcher struct {
-	window  time.Duration
-	max     int
-	in      chan *batchItem
-	quit    chan struct{}
-	wg      sync.WaitGroup
-	onBatch func(graphs int) // stats hook, called once per flushed batch
+	window   time.Duration
+	max      int
+	deadline time.Duration // max wait for a submitted item's result; 0 = unbounded
+	in       chan *batchItem
+	quit     chan struct{}
+	wg       sync.WaitGroup
+	onBatch  func(graphs int) // stats hook, called once per flushed batch
+
+	// mu guards closed. Predict checks closed under the read lock before
+	// enqueueing and Close sets it under the write lock before draining, so
+	// no item can enter the queue after the post-shutdown drain has run —
+	// the race that used to leave a caller blocked on a never-flushed item.
+	mu     sync.RWMutex
+	closed bool
 }
 
 // NewBatcher starts the flush loop. window <= 0 flushes opportunistically
 // (whatever is queued, no waiting); max < 1 defaults to 64; queue bounds
-// the number of submitted-but-unflushed items.
-func NewBatcher(window time.Duration, max, queue int, onBatch func(int)) *Batcher {
+// the number of submitted-but-unflushed items (submissions beyond it fail
+// fast with errQueueFull); deadline bounds how long Predict waits for its
+// batch to run (<= 0: forever).
+func NewBatcher(window time.Duration, max, queue int, deadline time.Duration, onBatch func(int)) *Batcher {
 	if max < 1 {
 		max = 64
 	}
@@ -51,34 +72,66 @@ func NewBatcher(window time.Duration, max, queue int, onBatch func(int)) *Batche
 	if onBatch == nil {
 		onBatch = func(int) {}
 	}
-	b := &Batcher{window: window, max: max, in: make(chan *batchItem, queue),
-		quit: make(chan struct{}), onBatch: onBatch}
+	b := &Batcher{window: window, max: max, deadline: deadline,
+		in: make(chan *batchItem, queue), quit: make(chan struct{}), onBatch: onBatch}
 	b.wg.Add(1)
 	go b.loop()
 	return b
 }
 
 // Predict submits one encoded graph bound to a model revision and blocks
-// until its batch has run. The model binding travels with the item, so a
-// hot swap between submission and flush still evaluates the model the
-// request was admitted under.
+// until its batch has run, the deadline passes, or the batcher shuts down.
+// The model binding travels with the item, so a hot swap between submission
+// and flush still evaluates the model the request was admitted under. A
+// full queue fails immediately with errQueueFull rather than blocking the
+// caller.
 func (b *Batcher) Predict(entry *ModelEntry, g *features.Graph) (gnn.Prediction, error) {
 	it := &batchItem{g: g, entry: entry, done: make(chan struct{})}
-	select {
-	case b.in <- it:
-	case <-b.quit:
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
 		return gnn.Prediction{}, errBatcherClosed
 	}
-	<-it.done
-	return it.pred, it.err
+	select {
+	case b.in <- it:
+		b.mu.RUnlock()
+	default:
+		b.mu.RUnlock()
+		return gnn.Prediction{}, errQueueFull
+	}
+	if b.deadline <= 0 {
+		<-it.done
+		return it.pred, it.err
+	}
+	timer := time.NewTimer(b.deadline)
+	defer timer.Stop()
+	select {
+	case <-it.done:
+		return it.pred, it.err
+	case <-timer.C:
+		// The item stays queued and will eventually be flushed or failed;
+		// nobody reads its result. Returning now is what keeps a wedged
+		// batch from hanging the HTTP client.
+		return gnn.Prediction{}, errPredictTimeout
+	}
 }
 
-// Close stops the flush loop after failing any still-queued items. Callers
-// must stop submitting first (the HTTP server drains its handlers before
-// the batcher closes).
+// Close stops the flush loop, then fails anything still queued. The order
+// matters: items are failed only after wg.Wait proves the loop has exited,
+// and the closed flag (set under the lock Predict submits under) guarantees
+// no later submission can slip into the drained queue and strand its
+// caller.
 func (b *Batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
 	close(b.quit)
+	b.mu.Unlock()
 	b.wg.Wait()
+	b.failQueued()
 }
 
 func (b *Batcher) loop() {
@@ -88,7 +141,8 @@ func (b *Batcher) loop() {
 		select {
 		case first = <-b.in:
 		case <-b.quit:
-			b.failQueued()
+			// Queued items are failed by Close after this loop provably
+			// exited — draining here would race a straggling enqueue.
 			return
 		}
 		batch := b.collect(first)

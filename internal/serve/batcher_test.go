@@ -1,0 +1,134 @@
+// In-package batcher tests: the shutdown race, queue backpressure and the
+// request deadline are all about internal ordering, so they construct
+// Batcher state directly instead of going through HTTP.
+package serve
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"zerotune/internal/gnn"
+)
+
+// TestBatcherCloseVsPredictNoStrandedCaller is the regression test for the
+// shutdown race: Close used to drain the queue while the flush loop was
+// still (or a submitter was about to be) enqueueing, stranding a Predict
+// caller on a done channel nobody would ever close. Every Predict below
+// must return — under -race — no matter how the Close interleaves.
+func TestBatcherCloseVsPredictNoStrandedCaller(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		b := NewBatcher(0, 4, 64, 0, nil)
+		entry := &ModelEntry{} // nil ZT: runGroup panics and the recovery path fails the item
+		const n = 16
+		var wg sync.WaitGroup
+		results := make([]error, n)
+		start := make(chan struct{})
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				_, err := b.Predict(entry, nil)
+				results[i] = err
+			}(i)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			b.Close()
+		}()
+		close(start)
+
+		returned := make(chan struct{})
+		go func() { wg.Wait(); close(returned) }()
+		select {
+		case <-returned:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("round %d: Predict stranded across Close — shutdown race", round)
+		}
+		for i, err := range results {
+			// Legal outcomes: ran (panic-recovered inference error), failed at
+			// shutdown, or rejected before enqueue. Never a nil-err success and
+			// never a hang (checked above).
+			if err == nil {
+				t.Fatalf("round %d: predict %d returned no error from a nil model", round, i)
+			}
+		}
+		b.Close() // idempotent
+	}
+}
+
+// TestBatcherQueueFullBackpressure fills the submission queue of a batcher
+// whose flush loop never runs, then checks the next Predict fails fast with
+// errQueueFull instead of blocking.
+func TestBatcherQueueFullBackpressure(t *testing.T) {
+	// Construct without NewBatcher so no flush loop drains the queue.
+	b := &Batcher{max: 4, in: make(chan *batchItem, 2), quit: make(chan struct{}), onBatch: func(int) {}}
+	b.in <- &batchItem{done: make(chan struct{})}
+	b.in <- &batchItem{done: make(chan struct{})}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := b.Predict(&ModelEntry{}, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, errQueueFull) {
+			t.Fatalf("full queue returned %v, want errQueueFull", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Predict blocked on a full queue instead of failing fast")
+	}
+}
+
+// TestBatcherDeadline submits against a wedged flush loop (none running)
+// and expects errPredictTimeout once the deadline passes, not a hang.
+func TestBatcherDeadline(t *testing.T) {
+	b := &Batcher{max: 4, deadline: 20 * time.Millisecond,
+		in: make(chan *batchItem, 4), quit: make(chan struct{}), onBatch: func(int) {}}
+	start := time.Now()
+	_, err := b.Predict(&ModelEntry{}, nil)
+	if !errors.Is(err, errPredictTimeout) {
+		t.Fatalf("wedged batch returned %v, want errPredictTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v to fire", elapsed)
+	}
+}
+
+// TestBatcherPredictAfterClose checks the closed flag is observed before
+// enqueue: a Predict issued strictly after Close returns errBatcherClosed.
+func TestBatcherPredictAfterClose(t *testing.T) {
+	b := NewBatcher(0, 4, 16, 0, nil)
+	b.Close()
+	if _, err := b.Predict(&ModelEntry{}, nil); !errors.Is(err, errBatcherClosed) {
+		t.Fatalf("post-close Predict returned %v, want errBatcherClosed", err)
+	}
+}
+
+// TestCacheLeaderErrorIsStaleForFollowers: a follower attached to a leader
+// that fails must observe errStaleEntry (so the server re-acquires), while
+// the slot is freed for the retry to claim.
+func TestCacheLeaderErrorIsStaleForFollowers(t *testing.T) {
+	c := NewCache(4)
+	leaderEntry, leader := c.Acquire(fp(1))
+	if !leader {
+		t.Fatal("first acquire was not leader")
+	}
+	follower, isLeader := c.Acquire(fp(1))
+	if isLeader {
+		t.Fatal("second acquire stole leadership")
+	}
+	c.Complete(leaderEntry, gnn.Prediction{}, errors.New("inference exploded"))
+	if _, err := follower.Wait(); !errors.Is(err, errStaleEntry) {
+		t.Fatalf("follower saw %v, want errStaleEntry wrapping", err)
+	}
+	// The failed entry must be gone: the retry becomes a fresh leader.
+	if _, leader := c.Acquire(fp(1)); !leader {
+		t.Fatal("retry after leader failure did not become leader")
+	}
+}

@@ -2,10 +2,20 @@ package serve
 
 import (
 	"container/list"
+	"errors"
+	"fmt"
 	"sync"
 
 	"zerotune/internal/gnn"
 )
+
+// errStaleEntry is what followers of a failed leader receive: the leader's
+// entry was deleted on error, so followers that attached before the
+// deletion are waiting on a slot no retry will ever refill. Surfacing the
+// failure as a distinct error lets the server re-acquire once — becoming
+// the new leader or attaching to one — instead of propagating a transient
+// inference failure as if it were a cached result.
+var errStaleEntry = errors.New("serve: stale cache entry (leader failed)")
 
 // Cache is a bounded LRU over plan fingerprints with single-flight
 // semantics: the first request for a fingerprint becomes the leader and
@@ -72,9 +82,15 @@ func (c *Cache) Acquire(key Fingerprint) (e *cacheEntry, leader bool) {
 
 // Complete publishes the leader's result and inserts the entry into the
 // LRU (unless it errored or the cache was cleared since Acquire), evicting
-// the least recently used entries beyond the bound.
+// the least recently used entries beyond the bound. A leader error is
+// published to waiting followers wrapped in errStaleEntry (the leader
+// itself already holds the raw error), so the serving layer can distinguish
+// "retry the acquire" from a result.
 func (c *Cache) Complete(e *cacheEntry, pred gnn.Prediction, err error) {
-	e.pred, e.err = pred, err
+	e.pred = pred
+	if err != nil {
+		e.err = fmt.Errorf("%w: %v", errStaleEntry, err)
+	}
 	close(e.done)
 	c.mu.Lock()
 	defer c.mu.Unlock()

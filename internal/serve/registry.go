@@ -3,12 +3,14 @@ package serve
 import (
 	"bytes"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"zerotune/internal/artifact"
 	"zerotune/internal/cluster"
 	"zerotune/internal/core"
 	"zerotune/internal/queryplan"
@@ -57,8 +59,19 @@ func (r *Registry) Install(zt *core.ZeroTune, id, path string) *ModelEntry {
 }
 
 // LoadFile reads, validates and probe-evaluates a model file without
-// swapping it in.
+// swapping it in. A checksum mismatch is retried once with a fresh read:
+// with the atomic artifact writer it indicates the file was replaced
+// between open and read (or a non-atomic writer was mid-flight), and the
+// second read observes the settled file.
 func (r *Registry) LoadFile(path string) (*ModelEntry, error) {
+	e, err := r.loadFileOnce(path)
+	if err != nil && errors.Is(err, artifact.ErrChecksum) {
+		e, err = r.loadFileOnce(path)
+	}
+	return e, err
+}
+
+func (r *Registry) loadFileOnce(path string) (*ModelEntry, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: read model: %w", err)

@@ -1,0 +1,77 @@
+package serve_test
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"zerotune/internal/serve"
+)
+
+// TestReloadRacesAtomicRewrite hammers Registry.Swap against a writer that
+// keeps replacing the model file through the atomic artifact writer. The
+// acceptance criterion: no reload may ever observe a torn file — every swap
+// must either load the old model bytes or the new ones, never fail. Run
+// with -race.
+func TestReloadRacesAtomicRewrite(t *testing.T) {
+	ztA, ztB := models(t)
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := ztA.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := serve.NewRegistry()
+	if _, _, err := reg.Swap(path); err != nil {
+		t.Fatal(err)
+	}
+
+	const rewrites = 40
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < rewrites; i++ {
+			zt := ztA
+			if i%2 == 0 {
+				zt = ztB
+			}
+			if err := zt.SaveFile(path); err != nil {
+				t.Errorf("rewrite %d: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := reg.Swap(path); err != nil {
+				t.Errorf("reload %d observed a torn or corrupt model file: %v", i, err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// The settled file must load cleanly and the served entry must predict.
+	if _, _, err := reg.Swap(path); err != nil {
+		t.Fatalf("final reload failed: %v", err)
+	}
+	cur := reg.Current()
+	if cur == nil || cur.ZT == nil {
+		t.Fatal("registry empty after reload storm")
+	}
+	if _, err := cur.ZT.Predict(testPlan(2, 10_000), testCluster(t)); err != nil {
+		t.Fatalf("post-storm prediction failed: %v", err)
+	}
+}

@@ -45,6 +45,11 @@ type Options struct {
 	QueueDepth int
 	// CacheSize bounds the plan-fingerprint cache (default 4096 entries).
 	CacheSize int
+	// RequestTimeout bounds how long a predict request waits for its
+	// micro-batch to run before failing with 503 — a wedged or overloaded
+	// flush loop must not hang clients (default 30s; negative disables the
+	// deadline).
+	RequestTimeout time.Duration
 }
 
 // withDefaults fills unset options.
@@ -57,6 +62,11 @@ func (o Options) withDefaults() Options {
 	}
 	if o.CacheSize < 1 {
 		o.CacheSize = 4096
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	} else if o.RequestTimeout < 0 {
+		o.RequestTimeout = 0
 	}
 	return o
 }
@@ -82,7 +92,7 @@ func New(opts Options) *Server {
 		stats: NewStats(),
 		mux:   http.NewServeMux(),
 	}
-	s.batcher = NewBatcher(opts.BatchWindow, opts.MaxBatch, opts.QueueDepth, func(n int) {
+	s.batcher = NewBatcher(opts.BatchWindow, opts.MaxBatch, opts.QueueDepth, opts.RequestTimeout, func(n int) {
 		s.stats.Batches.Add(1)
 		s.stats.Inferences.Add(uint64(n))
 		s.stats.BatchSizes.Observe(float64(n))
@@ -202,10 +212,29 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	fp := PlanFingerprint(g, entry.ZT.Mask)
-	e, leader := s.cache.Acquire(fp)
-	if !leader {
+	for attempt := 0; ; attempt++ {
+		e, leader := s.cache.Acquire(fp)
+		if leader {
+			pred, err := s.batcher.Predict(entry, g)
+			s.cache.Complete(e, pred, err)
+			if err != nil {
+				writeError(w, predictStatus(err), err)
+				return
+			}
+			writeJSON(w, http.StatusOK, PredictResponse{
+				LatencyMs: pred.LatencyMs, ThroughputEPS: pred.ThroughputEPS,
+				Cached: false, ModelID: entry.ID,
+			})
+			return
+		}
 		pred, err := e.Wait()
 		if err != nil {
+			// The leader this request attached to failed; its entry is gone,
+			// so one re-acquire runs (or joins) a fresh inference instead of
+			// reporting the dead leader's transient error as our own.
+			if errors.Is(err, errStaleEntry) && attempt == 0 {
+				continue
+			}
 			writeError(w, http.StatusServiceUnavailable, err)
 			return
 		}
@@ -215,16 +244,16 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
-	pred, err := s.batcher.Predict(entry, g)
-	s.cache.Complete(e, pred, err)
-	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, err)
-		return
+}
+
+// predictStatus maps batcher failures to HTTP: a full queue is backpressure
+// the client should retry later (429), everything else is service
+// unavailability (503).
+func predictStatus(err error) int {
+	if errors.Is(err, errQueueFull) {
+		return http.StatusTooManyRequests
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{
-		LatencyMs: pred.LatencyMs, ThroughputEPS: pred.ThroughputEPS,
-		Cached: false, ModelID: entry.ID,
-	})
+	return http.StatusServiceUnavailable
 }
 
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {

@@ -33,6 +33,22 @@ func NewRNG(seed uint64) *RNG {
 	return r
 }
 
+// State exposes the generator's internal state for checkpointing: a
+// generator restored with SetState continues the exact stream this one
+// would have produced.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState restores a state captured with State. Unlike NewRNG it performs
+// no warm-up, so restore is an exact continuation, not a reseed. A zero
+// state (never produced by a healthy generator) is remapped like a zero
+// seed to keep the generator out of xorshift's fixed point.
+func (r *RNG) SetState(s uint64) {
+	if s == 0 {
+		s = 0x9E3779B97F4A7C15
+	}
+	r.state = s
+}
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	x := r.state
