@@ -11,6 +11,7 @@ package zerotune
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -80,7 +81,7 @@ func BenchmarkTrainThroughput(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		model := gnn.New(tensor.NewRNG(1), gnn.Config{Hidden: 32, EncDepth: 1, HeadHidden: 32})
-		if _, err := gnn.Train(model, graphs, cfg); err != nil {
+		if _, err := gnn.Train(context.Background(), model, graphs, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -306,9 +307,9 @@ func BenchmarkServePredict(b *testing.B) {
 		b.Fatal(err)
 	}
 	opts := core.DefaultTrainOptions()
-	opts.Model = gnn.Config{Hidden: 12, EncDepth: 1, HeadHidden: 12}
-	opts.Train.Epochs = 2
-	zt, _, err := core.Train(items, opts)
+	opts.Hidden, opts.EncDepth, opts.HeadHidden = 12, 1, 12
+	opts.Epochs = 2
+	zt, _, err := core.Train(context.Background(), items, opts)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -177,7 +178,7 @@ func runPredict(args []string) error {
 			p.SetDegree(o.ID, *degree)
 		}
 	}
-	pred, err := zt.Predict(p, c)
+	pred, err := zt.Predict(context.Background(), p, c)
 	if err != nil {
 		return err
 	}
@@ -210,7 +211,7 @@ func runTune(args []string) error {
 	}
 	opts := optimizer.DefaultTuneOptions()
 	opts.Weight = *weight
-	res, err := zt.Tune(q, c, opts)
+	res, err := zt.Tune(context.Background(), q, c, opts)
 	if err != nil {
 		return err
 	}

@@ -26,6 +26,7 @@ func runServe(args []string) error {
 	cacheSize := fs.Int("cache-size", 4096, "plan-fingerprint cache entries")
 	drain := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-predict deadline before 503 (negative: unbounded)")
+	debug := fs.Bool("debug", false, "enable /debug/traces and /debug/pprof endpoints")
 	_ = fs.Parse(args)
 
 	s := serve.New(serve.Options{
@@ -33,12 +34,16 @@ func runServe(args []string) error {
 		MaxBatch:       *maxBatch,
 		CacheSize:      *cacheSize,
 		RequestTimeout: *reqTimeout,
+		Debug:          *debug,
 	})
 	entry, err := s.ServeModelFile(*model)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "serving model %s (%s) on http://%s\n", entry.ID, *model, *addr)
+	if *debug {
+		fmt.Fprintf(os.Stderr, "debug endpoints enabled: /debug/traces, /debug/pprof/\n")
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: s}
 	errCh := make(chan error, 1)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"strings"
 
 	"zerotune/internal/cluster"
+	"zerotune/internal/obs"
 	"zerotune/internal/queryplan"
 	"zerotune/internal/simulator"
 )
@@ -30,6 +32,7 @@ func runSimulate(args []string) error {
 	link := fs.Float64("link", 10, "network link speed (Gbps)")
 	degrees := fs.String("degrees", "", "comma-separated per-operator degrees in ID order")
 	noise := fs.Bool("noise", false, "apply measurement noise")
+	trace := fs.Bool("trace", false, "print simulation span timings to stderr")
 	_ = fs.Parse(args)
 
 	var p *queryplan.PQP
@@ -81,9 +84,28 @@ func runSimulate(args []string) error {
 		return err
 	}
 
+	// With -trace, time the run through the obs span machinery so the CLI
+	// exercises the same plumbing the server exports on /debug/traces.
+	var tracer *obs.Tracer
+	ctx := context.Background()
+	if *trace {
+		tracer = obs.NewTracer(1)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+	_, span := obs.StartSpan(ctx, "simulate.run")
+	span.SetAttr("query", p.Query.Template)
+	span.SetAttr("workers", len(c.Nodes))
 	res, err := simulator.Simulate(p, c, simulator.Options{DisableNoise: !*noise})
+	span.End()
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		for _, t := range tracer.Traces() {
+			for _, sp := range t.Spans {
+				fmt.Fprintf(os.Stderr, "trace %s span %-12s %.3fms\n", t.TraceID, sp.Name, float64(sp.Duration)/1e6)
+			}
+		}
 	}
 	fmt.Printf("plan:       %s\n", p)
 	fmt.Printf("cluster:    %d workers, %d cores, %.0f Gbps\n", len(c.Nodes), c.TotalCores(), c.LinkGbps)

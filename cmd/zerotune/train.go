@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"zerotune/internal/artifact"
 	"zerotune/internal/core"
 	"zerotune/internal/gnn"
+	"zerotune/internal/obs"
 	"zerotune/internal/workload"
 )
 
@@ -66,6 +68,7 @@ func runTrain(args []string) error {
 	ckptPath := fs.String("checkpoint", "", "checkpoint file path (empty: checkpointing disabled)")
 	ckptEvery := fs.Int("checkpoint-every", 5, "checkpoint every N epochs")
 	resume := fs.String("resume", "", "resume from this checkpoint file")
+	tracePath := fs.String("trace", "", "write the training trace (per-epoch spans) as JSON to this file")
 	_ = fs.Parse(args)
 
 	var resumed *trainCheckpoint
@@ -98,27 +101,6 @@ func runTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	opts := core.DefaultTrainOptions()
-	opts.Model = gnn.Config{Hidden: *hidden, EncDepth: 1, HeadHidden: *hidden}
-	opts.Train.Epochs = *epochs
-	opts.Seed = *seed
-	opts.Train.Progress = func(epoch int, loss float64) {
-		if epoch%5 == 0 {
-			fmt.Fprintf(os.Stderr, "epoch %3d loss %.4f\n", epoch, loss)
-		}
-	}
-	if resumed != nil {
-		opts.Train.Resume = resumed.State
-	}
-	if *ckptPath != "" {
-		wrapper := &trainCheckpoint{N: *n, Epochs: *epochs, Hidden: *hidden, Seed: *seed}
-		opts.Train.CheckpointEvery = *ckptEvery
-		opts.Train.Checkpoint = func(ck *gnn.Checkpoint) error {
-			wrapper.State = ck
-			return saveTrainCheckpoint(*ckptPath, wrapper)
-		}
-	}
-
 	// SIGINT/SIGTERM asks the trainer to finish the current epoch, write a
 	// final checkpoint, and stop — not to die mid-gradient-step.
 	interrupt := make(chan struct{})
@@ -130,13 +112,58 @@ func runTrain(args []string) error {
 			close(interrupt)
 		}
 	}()
-	opts.Train.Interrupt = interrupt
 
-	zt, stats, err := core.Train(ds.Train, opts)
+	topts := []core.TrainOption{
+		core.WithArchitecture(*hidden, 1, *hidden),
+		core.WithEpochs(*epochs),
+		core.WithSeed(*seed),
+		core.WithInterrupt(interrupt),
+		core.WithProgress(func(epoch int, loss float64) {
+			if epoch%5 == 0 {
+				fmt.Fprintf(os.Stderr, "epoch %3d loss %.4f\n", epoch, loss)
+			}
+		}),
+	}
+	if resumed != nil {
+		topts = append(topts, core.WithResume(resumed.State))
+	}
+	if *ckptPath != "" {
+		wrapper := &trainCheckpoint{N: *n, Epochs: *epochs, Hidden: *hidden, Seed: *seed}
+		topts = append(topts, core.WithCheckpoint(func(ck *gnn.Checkpoint) error {
+			wrapper.State = ck
+			return saveTrainCheckpoint(*ckptPath, wrapper)
+		}, *ckptEvery))
+	}
+	opts, err := core.NewTrainOptions(topts...)
+	if err != nil {
+		return err
+	}
+
+	// With -trace, record the run's span tree (core.train → one train.epoch
+	// per epoch with loss/grad-norm/timing attributes) and write it as JSON.
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer(4)
+		ctx = obs.WithTracer(ctx, tracer)
+	}
+
+	zt, stats, err := core.Train(ctx, ds.Train, opts)
 	signal.Stop(sig)
 	close(sig)
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		data, jerr := json.MarshalIndent(tracer.Traces(), "", "  ")
+		if jerr == nil {
+			jerr = os.WriteFile(*tracePath, append(data, '\n'), 0o644)
+		}
+		if jerr != nil {
+			fmt.Fprintf(os.Stderr, "warning: could not write trace %s: %v\n", *tracePath, jerr)
+		} else {
+			fmt.Fprintf(os.Stderr, "training trace written to %s\n", *tracePath)
+		}
 	}
 	if stats.Interrupted {
 		fmt.Fprintf(os.Stderr, "interrupted after epoch %d/%d", stats.Epochs, *epochs)

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,8 +29,8 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := core.DefaultTrainOptions()
-	opts.Train.Epochs = 50
-	zt, _, err := core.Train(items, opts)
+	opts.Epochs = 50
+	zt, _, err := core.Train(context.Background(), items, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func main() {
 		log.Fatal(err)
 	}
 	ctl := adaptive.New(zt.Estimator())
-	st, err := ctl.Deploy(q, c)
+	st, err := ctl.Deploy(context.Background(), q, c)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func main() {
 	// The day unfolds: rates drift upward into the morning peak and back.
 	fmt.Printf("%10s %12s %-22s %14s %14s\n", "observed", "reconfig?", "degrees", "latency (ms)", "tpt (ev/s)")
 	for _, rate := range []float64{22_000, 60_000, 250_000, 400_000, 120_000, 25_000} {
-		changed, err := ctl.Observe(st, c, rate)
+		changed, err := ctl.Observe(context.Background(), st, c, rate)
 		if err != nil {
 			log.Fatal(err)
 		}

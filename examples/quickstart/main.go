@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,8 +29,8 @@ func main() {
 	// 2. Train the zero-shot model (a few seconds at this scale).
 	fmt.Println("training the zero-shot cost model...")
 	opts := core.DefaultTrainOptions()
-	opts.Train.Epochs = 40
-	zt, stats, err := core.Train(items, opts)
+	opts.Epochs = 40
+	zt, stats, err := core.Train(context.Background(), items, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -52,7 +53,7 @@ func main() {
 				p.SetDegree(o.ID, degree)
 			}
 		}
-		pred, err := zt.Predict(p, c)
+		pred, err := zt.Predict(context.Background(), p, c)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,8 +27,8 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := core.DefaultTrainOptions()
-	opts.Train.Epochs = 35
-	zt, _, err := core.Train(items, opts)
+	opts.Epochs = 35
+	zt, _, err := core.Train(context.Background(), items, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func main() {
 						p.SetDegree(o.ID, 2*workers)
 					}
 				}
-				pred, err := zt.Predict(p, c)
+				pred, err := zt.Predict(context.Background(), p, c)
 				if err != nil {
 					log.Fatal(err)
 				}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -26,8 +27,8 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := core.DefaultTrainOptions()
-	opts.Train.Epochs = 50
-	zt, _, err := core.Train(items, opts)
+	opts.Epochs = 50
+	zt, _, err := core.Train(context.Background(), items, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 	}
 
 	fmt.Printf("\ntuning parallelism for spike detection at %d ev/s on 4 workers...\n", rate)
-	res, err := zt.Tune(q, c, optimizer.DefaultTuneOptions())
+	res, err := zt.Tune(context.Background(), q, c, optimizer.DefaultTuneOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -46,8 +47,8 @@ func main() {
 		log.Fatal(err)
 	}
 	opts := core.DefaultTrainOptions()
-	opts.Train.Epochs = 50
-	zt, _, err := core.Train(items, opts)
+	opts.Epochs = 50
+	zt, _, err := core.Train(context.Background(), items, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func main() {
 
 	// ZeroTune: what-if predictions only; zero real deployments before the
 	// final one.
-	tuned, err := zt.Tune(q, c, optimizer.DefaultTuneOptions())
+	tuned, err := zt.Tune(context.Background(), q, c, optimizer.DefaultTuneOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package adaptive
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -62,11 +63,11 @@ func totalRate(q *queryplan.Query) float64 {
 }
 
 // Deploy performs the initial tuning for the query's declared rates.
-func (c *Controller) Deploy(q *queryplan.Query, cl *cluster.Cluster) (*State, error) {
+func (c *Controller) Deploy(ctx context.Context, q *queryplan.Query, cl *cluster.Cluster) (*State, error) {
 	if c.Estimator == nil {
 		return nil, fmt.Errorf("adaptive: controller has no estimator")
 	}
-	res, err := optimizer.Tune(q, cl, c.Estimator, c.TuneOptions)
+	res, err := optimizer.Tune(ctx, q, cl, c.Estimator, c.TuneOptions)
 	if err != nil {
 		return nil, err
 	}
@@ -92,7 +93,7 @@ func scaledQuery(q *queryplan.Query, factor float64) *queryplan.Query {
 // weighted cost of the new plan beats the current plan's (re-priced at the
 // observed rate) by at least MinImprovement. It returns whether a
 // reconfiguration happened.
-func (c *Controller) Observe(st *State, cl *cluster.Cluster, observedRate float64) (bool, error) {
+func (c *Controller) Observe(ctx context.Context, st *State, cl *cluster.Cluster, observedRate float64) (bool, error) {
 	if st == nil || st.Plan == nil {
 		return false, fmt.Errorf("adaptive: Observe on an undeployed state")
 	}
@@ -109,7 +110,7 @@ func (c *Controller) Observe(st *State, cl *cluster.Cluster, observedRate float6
 	// Re-tune against the observed workload.
 	factor := observedRate / totalRate(st.Query)
 	shifted := scaledQuery(st.Query, factor)
-	res, err := optimizer.Tune(shifted, cl, c.Estimator, c.TuneOptions)
+	res, err := optimizer.Tune(ctx, shifted, cl, c.Estimator, c.TuneOptions)
 	if err != nil {
 		return false, err
 	}
@@ -121,7 +122,7 @@ func (c *Controller) Observe(st *State, cl *cluster.Cluster, observedRate float6
 	if err := cluster.Place(current, cl); err != nil {
 		return false, err
 	}
-	curEst, err := c.Estimator.Estimate(current, cl)
+	curEst, err := c.Estimator.Estimate(ctx, current, cl)
 	if err != nil {
 		return false, err
 	}

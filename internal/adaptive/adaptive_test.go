@@ -1,6 +1,7 @@
 package adaptive
 
 import (
+	"context"
 	"testing"
 
 	"zerotune/internal/cluster"
@@ -11,7 +12,7 @@ import (
 
 // oracle prices plans with the simulator — a perfect estimator, isolating
 // the controller logic from model error.
-func oracle(p *queryplan.PQP, c *cluster.Cluster) (optimizer.Estimate, error) {
+func oracle(_ context.Context, p *queryplan.PQP, c *cluster.Cluster) (optimizer.Estimate, error) {
 	res, err := simulator.Simulate(p, c, simulator.Options{DisableNoise: true})
 	if err != nil {
 		return optimizer.Estimate{}, err
@@ -32,7 +33,7 @@ func testSetup(t *testing.T, rate float64) (*queryplan.Query, *cluster.Cluster) 
 func TestDeployTunesInitialPlan(t *testing.T) {
 	q, c := testSetup(t, 300_000)
 	ctl := New(optimizer.EstimatorFunc(oracle))
-	st, err := ctl.Deploy(q, c)
+	st, err := ctl.Deploy(context.Background(), q, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +49,11 @@ func TestDeployTunesInitialPlan(t *testing.T) {
 func TestObserveIgnoresSmallDrift(t *testing.T) {
 	q, c := testSetup(t, 100_000)
 	ctl := New(optimizer.EstimatorFunc(oracle))
-	st, err := ctl.Deploy(q, c)
+	st, err := ctl.Deploy(context.Background(), q, c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	changed, err := ctl.Observe(st, c, 110_000) // 10% drift < 30% threshold
+	changed, err := ctl.Observe(context.Background(), st, c, 110_000) // 10% drift < 30% threshold
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,13 +68,13 @@ func TestObserveIgnoresSmallDrift(t *testing.T) {
 func TestObserveRetunesOnLargeDrift(t *testing.T) {
 	q, c := testSetup(t, 20_000)
 	ctl := New(optimizer.EstimatorFunc(oracle))
-	st, err := ctl.Deploy(q, c)
+	st, err := ctl.Deploy(context.Background(), q, c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	before := st.Plan.Clone()
 	// Rate explodes 20× — the old plan is hopeless.
-	changed, err := ctl.Observe(st, c, 400_000)
+	changed, err := ctl.Observe(context.Background(), st, c, 400_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,11 +102,11 @@ func TestObserveSkipsMarginalImprovements(t *testing.T) {
 	q, c := testSetup(t, 100_000)
 	ctl := New(optimizer.EstimatorFunc(oracle))
 	ctl.MinImprovement = 1e9 // nothing is ever worth reconfiguring
-	st, err := ctl.Deploy(q, c)
+	st, err := ctl.Deploy(context.Background(), q, c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	changed, err := ctl.Observe(st, c, 400_000)
+	changed, err := ctl.Observe(context.Background(), st, c, 400_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,14 +122,14 @@ func TestObserveSkipsMarginalImprovements(t *testing.T) {
 func TestObserveValidatesInput(t *testing.T) {
 	q, c := testSetup(t, 1000)
 	ctl := New(optimizer.EstimatorFunc(oracle))
-	st, err := ctl.Deploy(q, c)
+	st, err := ctl.Deploy(context.Background(), q, c)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctl.Observe(st, c, 0); err == nil {
+	if _, err := ctl.Observe(context.Background(), st, c, 0); err == nil {
 		t.Fatal("accepted zero rate")
 	}
-	if _, err := ctl.Observe(nil, c, 100); err == nil {
+	if _, err := ctl.Observe(context.Background(), nil, c, 100); err == nil {
 		t.Fatal("accepted nil state")
 	}
 }
@@ -136,7 +137,7 @@ func TestObserveValidatesInput(t *testing.T) {
 func TestDeployRequiresEstimator(t *testing.T) {
 	q, c := testSetup(t, 1000)
 	ctl := &Controller{TuneOptions: optimizer.DefaultTuneOptions(), DriftThreshold: 0.3}
-	if _, err := ctl.Deploy(q, c); err == nil {
+	if _, err := ctl.Deploy(context.Background(), q, c); err == nil {
 		t.Fatal("deployed without estimator")
 	}
 }
@@ -144,13 +145,13 @@ func TestDeployRequiresEstimator(t *testing.T) {
 func TestObserveHandlesRateDrop(t *testing.T) {
 	q, c := testSetup(t, 400_000)
 	ctl := New(optimizer.EstimatorFunc(oracle))
-	st, err := ctl.Deploy(q, c)
+	st, err := ctl.Deploy(context.Background(), q, c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	scaledUp := st.Plan.TotalInstances()
 	// Overnight lull: rate collapses 40×.
-	if _, err := ctl.Observe(st, c, 10_000); err != nil {
+	if _, err := ctl.Observe(context.Background(), st, c, 10_000); err != nil {
 		t.Fatal(err)
 	}
 	if st.TunedRate != 10_000 {
@@ -171,13 +172,13 @@ func TestObserveHandlesRateDrop(t *testing.T) {
 func TestRepeatedObservationsStable(t *testing.T) {
 	q, c := testSetup(t, 100_000)
 	ctl := New(optimizer.EstimatorFunc(oracle))
-	st, err := ctl.Deploy(q, c)
+	st, err := ctl.Deploy(context.Background(), q, c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A stable stream must not cause reconfiguration churn.
 	for i := 0; i < 5; i++ {
-		changed, err := ctl.Observe(st, c, 100_000*(1+0.05*float64(i%2)))
+		changed, err := ctl.Observe(context.Background(), st, c, 100_000*(1+0.05*float64(i%2)))
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,13 +1,13 @@
 package core_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
 
 	"zerotune/internal/cluster"
 	"zerotune/internal/core"
-	"zerotune/internal/gnn"
 	"zerotune/internal/optimizer"
 	"zerotune/internal/queryplan"
 	"zerotune/internal/simulator"
@@ -26,7 +26,7 @@ func Example() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	zt, stats, err := core.Train(items, core.DefaultTrainOptions())
+	zt, stats, err := core.Train(context.Background(), items, core.DefaultTrainOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -35,11 +35,11 @@ func Example() {
 	// Zero-shot prediction for a benchmark query on a 4-worker cluster.
 	c, _ := cluster.New(4, cluster.SeenTypes(), 10)
 	p := queryplan.NewPQP(queryplan.SpikeDetection(50_000))
-	pred, _ := zt.Predict(p, c)
+	pred, _ := zt.Predict(context.Background(), p, c)
 	fmt.Printf("predicted: %.1f ms, %.0f ev/s\n", pred.LatencyMs, pred.ThroughputEPS)
 
 	// Parallelism tuning: Eq. 1 over the optimizer's candidate set.
-	res, _ := zt.Tune(queryplan.SpikeDetection(50_000), c, optimizer.DefaultTuneOptions())
+	res, _ := zt.Tune(context.Background(), queryplan.SpikeDetection(50_000), c, optimizer.DefaultTuneOptions())
 	fmt.Printf("recommended degrees: %v\n", res.Plan.DegreesVector())
 }
 
@@ -48,7 +48,7 @@ func Example() {
 func ExampleZeroTune_Save() {
 	gen := workload.NewSeenGenerator(1)
 	items, _ := gen.Generate([]string{"linear"}, 500)
-	zt, _, err := core.Train(items, core.DefaultTrainOptions())
+	zt, _, err := core.Train(context.Background(), items, core.DefaultTrainOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,18 +67,18 @@ func ExampleZeroTune_Save() {
 func ExampleZeroTune_FineTuneMetric() {
 	gen := workload.NewSeenGenerator(1)
 	items, _ := gen.Generate(workload.SeenRanges().Structures, 1000)
-	zt, _, err := core.Train(items, core.DefaultTrainOptions())
+	zt, _, err := core.Train(context.Background(), items, core.DefaultTrainOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
-	metric, err := zt.FineTuneMetric("busy-cores", items, func(it *workload.Item) float64 {
+	metric, err := zt.FineTuneMetric(context.Background(), "busy-cores", items, func(it *workload.Item) float64 {
 		res, _ := simulator.Simulate(it.Plan.Clone(), it.Cluster, simulator.Options{DisableNoise: true})
 		return res.BusyCores + 0.1
-	}, gnn.DefaultTrainConfig())
+	}, core.DefaultTrainOptions())
 	if err != nil {
 		log.Fatal(err)
 	}
 	c, _ := cluster.New(4, cluster.SeenTypes(), 10)
-	usage, _ := metric.Predict(queryplan.NewPQP(queryplan.SmartGridLocal(20_000)), c)
+	usage, _ := metric.Predict(context.Background(), queryplan.NewPQP(queryplan.SmartGridLocal(20_000)), c)
 	fmt.Printf("predicted busy cores: %.1f\n", usage)
 }

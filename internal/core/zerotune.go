@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 	"zerotune/internal/features"
 	"zerotune/internal/gnn"
 	"zerotune/internal/metrics"
+	"zerotune/internal/obs"
 	"zerotune/internal/optimizer"
 	"zerotune/internal/parallel"
 	"zerotune/internal/queryplan"
@@ -31,25 +33,20 @@ type ZeroTune struct {
 	Mask features.Mask
 }
 
-// TrainOptions configures model training.
-type TrainOptions struct {
-	Model gnn.Config
-	Train gnn.TrainConfig
-	Mask  features.Mask
-	Seed  uint64
-}
-
-// DefaultTrainOptions returns the configuration used across the
-// experiments.
-func DefaultTrainOptions() TrainOptions {
-	return TrainOptions{Model: gnn.DefaultConfig(), Train: gnn.DefaultTrainConfig(), Seed: 1}
-}
-
-// Train fits a fresh ZeroTune model on labelled workload items.
-func Train(items []*workload.Item, opts TrainOptions) (*ZeroTune, gnn.TrainStats, error) {
+// Train fits a fresh ZeroTune model on labelled workload items. The
+// context cancels training at the next epoch boundary (after a final
+// checkpoint when one is configured) and carries the tracer for the
+// per-epoch spans the train loop emits.
+func Train(ctx context.Context, items []*workload.Item, opts *TrainOptions) (*ZeroTune, gnn.TrainStats, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, gnn.TrainStats{}, err
+	}
 	if len(items) == 0 {
 		return nil, gnn.TrainStats{}, fmt.Errorf("core: no training items")
 	}
+	ctx, span := obs.StartSpan(ctx, "core.train")
+	defer span.End()
+	span.SetAttr("items", len(items))
 	// Re-encode under the requested mask when it differs from the items'
 	// encoding default (MaskAll).
 	data := items
@@ -60,8 +57,8 @@ func Train(items []*workload.Item, opts TrainOptions) (*ZeroTune, gnn.TrainStats
 			return nil, gnn.TrainStats{}, err
 		}
 	}
-	model := gnn.New(tensor.NewRNG(opts.Seed), opts.Model)
-	stats, err := gnn.Train(model, workload.Graphs(data), opts.Train)
+	model := gnn.New(tensor.NewRNG(opts.Seed), opts.modelConfig())
+	stats, err := gnn.Train(ctx, model, workload.Graphs(data), opts.trainConfig())
 	if err != nil {
 		return nil, gnn.TrainStats{}, err
 	}
@@ -69,8 +66,12 @@ func Train(items []*workload.Item, opts TrainOptions) (*ZeroTune, gnn.TrainStats
 }
 
 // FineTune continues training on additional items (few-shot learning,
-// Sec. V-A) using the gentler FewShotConfig schedule.
-func (z *ZeroTune) FineTune(items []*workload.Item, cfg gnn.TrainConfig) (gnn.TrainStats, error) {
+// Sec. V-A); FewShotTrainOptions is the usual schedule. The options'
+// architecture and mask fields are ignored — the existing model fixes both.
+func (z *ZeroTune) FineTune(ctx context.Context, items []*workload.Item, opts *TrainOptions) (gnn.TrainStats, error) {
+	if err := opts.Validate(); err != nil {
+		return gnn.TrainStats{}, err
+	}
 	if len(items) == 0 {
 		return gnn.TrainStats{}, fmt.Errorf("core: no fine-tuning items")
 	}
@@ -82,20 +83,20 @@ func (z *ZeroTune) FineTune(items []*workload.Item, cfg gnn.TrainConfig) (gnn.Tr
 			return gnn.TrainStats{}, err
 		}
 	}
-	return gnn.Train(z.Model, workload.Graphs(data), cfg)
+	return gnn.Train(ctx, z.Model, workload.Graphs(data), opts.trainConfig())
 }
 
 // Predict estimates the cost of executing the placed plan p on cluster c.
-func (z *ZeroTune) Predict(p *queryplan.PQP, c *cluster.Cluster) (gnn.Prediction, error) {
-	if len(p.Placement) != len(p.Query.Ops) {
-		if err := cluster.Place(p, c); err != nil {
-			return gnn.Prediction{}, err
-		}
+func (z *ZeroTune) Predict(ctx context.Context, p *queryplan.PQP, c *cluster.Cluster) (gnn.Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return gnn.Prediction{}, err
 	}
-	g, err := features.Encode(p, c, z.Mask)
+	g, err := z.EncodePlan(ctx, p, c)
 	if err != nil {
 		return gnn.Prediction{}, err
 	}
+	_, span := obs.StartSpan(ctx, "gnn.forward")
+	defer span.End()
 	return z.Model.Predict(g), nil
 }
 
@@ -103,9 +104,15 @@ func (z *ZeroTune) Predict(p *queryplan.PQP, c *cluster.Cluster) (gnn.Prediction
 // the plans and fanning the model's forward passes across the worker pool
 // (ZEROTUNE_WORKERS or GOMAXPROCS). Results match per-plan Predict calls in
 // order and value for any worker count.
-func (z *ZeroTune) PredictBatch(ps []*queryplan.PQP, c *cluster.Cluster) ([]gnn.Prediction, error) {
+func (z *ZeroTune) PredictBatch(ctx context.Context, ps []*queryplan.PQP, c *cluster.Cluster) ([]gnn.Prediction, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	graphs := make([]*features.Graph, len(ps))
 	workers := parallel.Workers()
+	ctx, span := obs.StartSpan(ctx, "predict.batch")
+	defer span.End()
+	span.SetAttr("plans", len(ps))
 	// Placement mutates the plan, so it stays on the caller's goroutine;
 	// encoding is pure per plan and fans out.
 	for _, p := range ps {
@@ -125,6 +132,13 @@ func (z *ZeroTune) PredictBatch(ps []*queryplan.PQP, c *cluster.Cluster) ([]gnn.
 	}); err != nil {
 		return nil, err
 	}
+	// Cancellation is honored between the encode and forward stages; the
+	// forward pass itself runs to completion (milliseconds).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	_, fwd := obs.StartSpan(ctx, "gnn.forward")
+	defer fwd.End()
 	return z.Model.PredictBatch(graphs, workers), nil
 }
 
@@ -133,7 +147,9 @@ func (z *ZeroTune) PredictBatch(ps []*queryplan.PQP, c *cluster.Cluster) ([]gnn.
 // pass on. Callers that need to fingerprint or batch requests (the serving
 // layer) encode once, key off the graph, and feed the same graph to
 // PredictEncoded, so cache key and model input can never disagree.
-func (z *ZeroTune) EncodePlan(p *queryplan.PQP, c *cluster.Cluster) (*features.Graph, error) {
+func (z *ZeroTune) EncodePlan(ctx context.Context, p *queryplan.PQP, c *cluster.Cluster) (*features.Graph, error) {
+	_, span := obs.StartSpan(ctx, "encode.plan")
+	defer span.End()
 	if len(p.Placement) != len(p.Query.Ops) {
 		if err := cluster.Place(p, c); err != nil {
 			return nil, err
@@ -154,8 +170,8 @@ func (z *ZeroTune) PredictEncoded(graphs []*features.Graph) []gnn.Prediction {
 type modelEstimator struct{ z *ZeroTune }
 
 // Estimate implements optimizer.CostEstimator.
-func (e modelEstimator) Estimate(p *queryplan.PQP, c *cluster.Cluster) (optimizer.Estimate, error) {
-	pred, err := e.z.Predict(p, c)
+func (e modelEstimator) Estimate(ctx context.Context, p *queryplan.PQP, c *cluster.Cluster) (optimizer.Estimate, error) {
+	pred, err := e.z.Predict(ctx, p, c)
 	if err != nil {
 		return optimizer.Estimate{}, err
 	}
@@ -163,8 +179,8 @@ func (e modelEstimator) Estimate(p *queryplan.PQP, c *cluster.Cluster) (optimize
 }
 
 // EstimateBatch implements optimizer.BatchCostEstimator.
-func (e modelEstimator) EstimateBatch(ps []*queryplan.PQP, c *cluster.Cluster) ([]optimizer.Estimate, error) {
-	preds, err := e.z.PredictBatch(ps, c)
+func (e modelEstimator) EstimateBatch(ctx context.Context, ps []*queryplan.PQP, c *cluster.Cluster) ([]optimizer.Estimate, error) {
+	preds, err := e.z.PredictBatch(ctx, ps, c)
 	if err != nil {
 		return nil, err
 	}
@@ -184,8 +200,8 @@ func (z *ZeroTune) Estimator() optimizer.CostEstimator {
 
 // Tune selects parallelism degrees for q on c by minimizing the model's
 // predicted weighted cost (Eq. 1) over the optimizer's candidate set.
-func (z *ZeroTune) Tune(q *queryplan.Query, c *cluster.Cluster, opts optimizer.TuneOptions) (*optimizer.TuneResult, error) {
-	return optimizer.Tune(q, c, z.Estimator(), opts)
+func (z *ZeroTune) Tune(ctx context.Context, q *queryplan.Query, c *cluster.Cluster, opts optimizer.TuneOptions) (*optimizer.TuneResult, error) {
+	return optimizer.Tune(ctx, q, c, z.Estimator(), opts)
 }
 
 // QErrors evaluates the model on labelled items and returns the latency and
@@ -309,10 +325,13 @@ func (m *MetricModel) Name() string { return m.head.Name }
 // FineTuneMetric fits a new read-out head for an additional metric on
 // labelled items, extracting the target value per item with extract. The
 // underlying model's weights are frozen; only the new head trains.
-func (z *ZeroTune) FineTuneMetric(name string, items []*workload.Item,
-	extract func(*workload.Item) float64, cfg gnn.TrainConfig) (*MetricModel, error) {
+func (z *ZeroTune) FineTuneMetric(ctx context.Context, name string, items []*workload.Item,
+	extract func(*workload.Item) float64, opts *TrainOptions) (*MetricModel, error) {
 	if extract == nil {
 		return nil, fmt.Errorf("core: FineTuneMetric needs an extractor")
+	}
+	if err := opts.Validate(); err != nil {
+		return nil, err
 	}
 	data := items
 	if z.Mask != features.MaskAll {
@@ -326,7 +345,7 @@ func (z *ZeroTune) FineTuneMetric(name string, items []*workload.Item,
 	for i, it := range data {
 		targets[i] = extract(it)
 	}
-	head, err := gnn.FineTuneMetricHead(z.Model, name, workload.Graphs(data), targets, cfg)
+	head, err := gnn.FineTuneMetricHead(ctx, z.Model, name, workload.Graphs(data), targets, opts.trainConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -334,13 +353,8 @@ func (z *ZeroTune) FineTuneMetric(name string, items []*workload.Item,
 }
 
 // Predict estimates the metric for the placed plan p on cluster c.
-func (m *MetricModel) Predict(p *queryplan.PQP, c *cluster.Cluster) (float64, error) {
-	if len(p.Placement) != len(p.Query.Ops) {
-		if err := cluster.Place(p, c); err != nil {
-			return 0, err
-		}
-	}
-	g, err := features.Encode(p, c, m.zt.Mask)
+func (m *MetricModel) Predict(ctx context.Context, p *queryplan.PQP, c *cluster.Cluster) (float64, error) {
+	g, err := m.zt.EncodePlan(ctx, p, c)
 	if err != nil {
 		return 0, err
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"os"
@@ -12,7 +13,6 @@ import (
 	"zerotune/internal/artifact"
 	"zerotune/internal/cluster"
 	"zerotune/internal/features"
-	"zerotune/internal/gnn"
 	"zerotune/internal/metrics"
 	"zerotune/internal/optimizer"
 	"zerotune/internal/queryplan"
@@ -35,9 +35,9 @@ func smallTrained(t *testing.T, n int, epochs int) (*ZeroTune, *workload.Dataset
 		t.Fatal(err)
 	}
 	opts := DefaultTrainOptions()
-	opts.Model = gnn.Config{Hidden: 24, EncDepth: 1, HeadHidden: 24}
-	opts.Train.Epochs = epochs
-	zt, _, err := Train(ds.Train, opts)
+	opts.Hidden, opts.EncDepth, opts.HeadHidden = 24, 1, 24
+	opts.Epochs = epochs
+	zt, _, err := Train(context.Background(), ds.Train, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +45,7 @@ func smallTrained(t *testing.T, n int, epochs int) (*ZeroTune, *workload.Dataset
 }
 
 func TestTrainRejectsEmpty(t *testing.T) {
-	if _, _, err := Train(nil, DefaultTrainOptions()); err == nil {
+	if _, _, err := Train(context.Background(), nil, DefaultTrainOptions()); err == nil {
 		t.Fatal("accepted empty training set")
 	}
 }
@@ -72,7 +72,7 @@ func TestPredictAutoPlaces(t *testing.T) {
 	q := queryplan.SpikeDetection(5000)
 	p := queryplan.NewPQP(q)
 	c, _ := cluster.New(2, cluster.SeenTypes(), 10)
-	pred, err := zt.Predict(p, c) // no placement yet
+	pred, err := zt.Predict(context.Background(), p, c) // no placement yet
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +85,7 @@ func TestTuneReturnsValidPlan(t *testing.T) {
 	zt, _ := smallTrained(t, 60, 5)
 	q := queryplan.SpikeDetection(100_000)
 	c, _ := cluster.New(4, cluster.SeenTypes(), 10)
-	res, err := zt.Tune(q, c, optimizer.DefaultTuneOptions())
+	res, err := zt.Tune(context.Background(), q, c, optimizer.DefaultTuneOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,9 +147,9 @@ func TestFineTuneImprovesOnTarget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := gnn.FewShotConfig()
+	cfg := FewShotTrainOptions()
 	cfg.Epochs = 15
-	if _, err := zt.FineTune(few, cfg); err != nil {
+	if _, err := zt.FineTune(context.Background(), few, cfg); err != nil {
 		t.Fatal(err)
 	}
 	after, _, err := zt.QErrors(test)
@@ -163,7 +163,7 @@ func TestFineTuneImprovesOnTarget(t *testing.T) {
 
 func TestFineTuneRejectsEmpty(t *testing.T) {
 	zt, _ := smallTrained(t, 60, 3)
-	if _, err := zt.FineTune(nil, gnn.FewShotConfig()); err == nil {
+	if _, err := zt.FineTune(context.Background(), nil, FewShotTrainOptions()); err == nil {
 		t.Fatal("accepted empty fine-tune set")
 	}
 }
@@ -175,10 +175,10 @@ func TestTrainWithMask(t *testing.T) {
 		t.Fatal(err)
 	}
 	opts := DefaultTrainOptions()
-	opts.Model = gnn.Config{Hidden: 16, EncDepth: 1, HeadHidden: 16}
-	opts.Train.Epochs = 3
+	opts.Hidden, opts.EncDepth, opts.HeadHidden = 16, 1, 16
+	opts.Epochs = 3
 	opts.Mask = features.MaskOperatorOnly
-	zt, _, err := Train(items, opts)
+	zt, _, err := Train(context.Background(), items, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +200,7 @@ func TestEstimatorInterface(t *testing.T) {
 	if err := cluster.Place(p, c); err != nil {
 		t.Fatal(err)
 	}
-	e, err := est.Estimate(p, c)
+	e, err := est.Estimate(context.Background(), p, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,13 +211,13 @@ func TestEstimatorInterface(t *testing.T) {
 
 func TestFineTuneMetricBusyCores(t *testing.T) {
 	zt, ds := smallTrained(t, 400, 20)
-	metric, err := zt.FineTuneMetric("busy-cores", ds.Train, func(it *workload.Item) float64 {
+	metric, err := zt.FineTuneMetric(context.Background(), "busy-cores", ds.Train, func(it *workload.Item) float64 {
 		res, err := simulator.Simulate(it.Plan.Clone(), it.Cluster, simulator.Options{DisableNoise: true})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res.BusyCores + 0.1
-	}, gnn.DefaultTrainConfig())
+	}, DefaultTrainOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestFineTuneMetricBusyCores(t *testing.T) {
 	// (median q-error bounded).
 	var qs []float64
 	for _, it := range ds.Test[:20] {
-		pred, err := metric.Predict(it.Plan, it.Cluster)
+		pred, err := metric.Predict(context.Background(), it.Plan, it.Cluster)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -245,7 +245,7 @@ func TestFineTuneMetricBusyCores(t *testing.T) {
 
 func TestFineTuneMetricValidation(t *testing.T) {
 	zt, ds := smallTrained(t, 60, 3)
-	if _, err := zt.FineTuneMetric("x", ds.Train, nil, gnn.DefaultTrainConfig()); err == nil {
+	if _, err := zt.FineTuneMetric(context.Background(), "x", ds.Train, nil, DefaultTrainOptions()); err == nil {
 		t.Fatal("accepted nil extractor")
 	}
 }
@@ -385,12 +385,12 @@ func TestEncodePlanPredictEncodedMatchesPredict(t *testing.T) {
 	var want []float64
 	for _, rate := range []float64{5_000, 20_000, 80_000} {
 		p := queryplan.NewPQP(queryplan.SpikeDetection(rate))
-		g, err := zt.EncodePlan(p, c)
+		g, err := zt.EncodePlan(context.Background(), p, c)
 		if err != nil {
 			t.Fatal(err)
 		}
 		graphs = append(graphs, g)
-		pred, err := zt.Predict(queryplan.NewPQP(queryplan.SpikeDetection(rate)), c)
+		pred, err := zt.Predict(context.Background(), queryplan.NewPQP(queryplan.SpikeDetection(rate)), c)
 		if err != nil {
 			t.Fatal(err)
 		}

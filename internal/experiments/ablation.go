@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -70,10 +71,11 @@ func (l *Lab) RunReadoutAblation() (*ReadoutAblationResult, error) {
 			}
 		} else {
 			opts := core.DefaultTrainOptions()
-			opts.Model = gnn.Config{Hidden: l.Cfg.Hidden, EncDepth: 1, HeadHidden: l.Cfg.Hidden, Readout: mode}
-			opts.Train.Epochs = l.Cfg.Epochs
+			opts.Hidden, opts.EncDepth, opts.HeadHidden = l.Cfg.Hidden, 1, l.Cfg.Hidden
+			opts.Readout = mode
+			opts.Epochs = l.Cfg.Epochs
 			opts.Seed = l.Cfg.Seed
-			zt, _, err = core.Train(ds.Train, opts)
+			zt, _, err = core.Train(context.Background(), ds.Train, opts)
 			if err != nil {
 				return nil, err
 			}

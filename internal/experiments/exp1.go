@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"zerotune/internal/core"
 	"zerotune/internal/flatvec"
-	"zerotune/internal/gnn"
 	"zerotune/internal/metrics"
 	"zerotune/internal/workload"
 )
@@ -296,8 +296,7 @@ func (l *Lab) RunFig6FewShot() (*Fig6Result, error) {
 		}
 		few = append(few, items...)
 	}
-	cfg := gnn.FewShotConfig()
-	if _, err := clone.FineTune(few, cfg); err != nil {
+	if _, err := clone.FineTune(context.Background(), few, core.FewShotTrainOptions()); err != nil {
 		return nil, err
 	}
 	for _, s := range structures {

@@ -1,12 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"zerotune/internal/cluster"
 	"zerotune/internal/core"
-	"zerotune/internal/gnn"
 	"zerotune/internal/metrics"
 	"zerotune/internal/optisample"
 	"zerotune/internal/workload"
@@ -211,7 +211,7 @@ func (l *Lab) RunFig7d() (*Fig7Result, *Fig7Result, error) {
 		}
 		few = append(few, items...)
 	}
-	if _, err := clone.FineTune(few, gnn.FewShotConfig()); err != nil {
+	if _, err := clone.FineTune(context.Background(), few, core.FewShotTrainOptions()); err != nil {
 		return nil, nil, err
 	}
 	fewShot, err := bucketByCategory(clone, test, "Fig. 7d: unseen joins, few-shot")

@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"zerotune/internal/cluster"
 	"zerotune/internal/core"
-	"zerotune/internal/gnn"
 	"zerotune/internal/metrics"
 	"zerotune/internal/optisample"
 	"zerotune/internal/workload"
@@ -98,10 +98,10 @@ func (l *Lab) RunFig9DataEfficiency(sizes []int) (*Fig9Result, error) {
 				return nil, fmt.Errorf("experiments: fig9 size %d out of range", n)
 			}
 			opts := core.DefaultTrainOptions()
-			opts.Model = gnn.Config{Hidden: l.Cfg.Hidden, EncDepth: 1, HeadHidden: l.Cfg.Hidden}
-			opts.Train.Epochs = l.Cfg.Epochs
+			opts.Hidden, opts.EncDepth, opts.HeadHidden = l.Cfg.Hidden, 1, l.Cfg.Hidden
+			opts.Epochs = l.Cfg.Epochs
 			opts.Seed = l.Cfg.Seed
-			zt, stats, err := core.Train(corpus[:n], opts)
+			zt, stats, err := core.Train(context.Background(), corpus[:n], opts)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -115,7 +116,7 @@ func (l *Lab) RunFig10aSpeedup() (*Fig10aResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			tuned, err := optimizer.Tune(q, c, est, optimizer.DefaultTuneOptions())
+			tuned, err := optimizer.Tune(context.Background(), q, c, est, optimizer.DefaultTuneOptions())
 			if err != nil {
 				return nil, err
 			}
@@ -203,7 +204,7 @@ func (l *Lab) RunFig10bDhalion() (*Fig10bResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			tuned, err := optimizer.Tune(q, c, est, optimizer.DefaultTuneOptions())
+			tuned, err := optimizer.Tune(context.Background(), q, c, est, optimizer.DefaultTuneOptions())
 			if err != nil {
 				return nil, err
 			}

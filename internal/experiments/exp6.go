@@ -1,13 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"zerotune/internal/cluster"
 	"zerotune/internal/core"
 	"zerotune/internal/features"
-	"zerotune/internal/gnn"
 	"zerotune/internal/metrics"
 	"zerotune/internal/optisample"
 	"zerotune/internal/workload"
@@ -101,11 +101,11 @@ func (l *Lab) RunFig11Ablation() (*Fig11Result, error) {
 			}
 		} else {
 			opts := core.DefaultTrainOptions()
-			opts.Model = gnn.Config{Hidden: l.Cfg.Hidden, EncDepth: 1, HeadHidden: l.Cfg.Hidden}
-			opts.Train.Epochs = l.Cfg.Epochs
+			opts.Hidden, opts.EncDepth, opts.HeadHidden = l.Cfg.Hidden, 1, l.Cfg.Hidden
+			opts.Epochs = l.Cfg.Epochs
 			opts.Seed = l.Cfg.Seed
 			opts.Mask = mask
-			zt, _, err = core.Train(ds.Train, opts)
+			zt, _, err = core.Train(context.Background(), ds.Train, opts)
 			if err != nil {
 				return nil, err
 			}

@@ -13,6 +13,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 
@@ -149,11 +150,11 @@ func (l *Lab) zerotuneLocked() (*core.ZeroTune, error) {
 		return nil, err
 	}
 	opts := core.DefaultTrainOptions()
-	opts.Model = gnn.Config{Hidden: l.Cfg.Hidden, EncDepth: 1, HeadHidden: l.Cfg.Hidden}
-	opts.Train.Epochs = l.Cfg.Epochs
-	opts.Train.Workers = l.Cfg.Workers
+	opts.Hidden, opts.EncDepth, opts.HeadHidden = l.Cfg.Hidden, 1, l.Cfg.Hidden
+	opts.Epochs = l.Cfg.Epochs
+	opts.Workers = l.Cfg.Workers
 	opts.Seed = l.Cfg.Seed
-	zt, stats, err := core.Train(ds.Train, opts)
+	zt, stats, err := core.Train(context.Background(), ds.Train, opts)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: train ZeroTune: %w", err)
 	}

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"encoding/json"
 	"testing"
 
@@ -23,7 +24,7 @@ func TestResumeBitIdentical(t *testing.T) {
 	const epochs = 8
 
 	full := smallModel(7)
-	fullStats, err := Train(full, graphs, resumeCfg(epochs))
+	fullStats, err := Train(context.Background(), full, graphs, resumeCfg(epochs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestResumeBitIdentical(t *testing.T) {
 			last = &Checkpoint{}
 			return json.Unmarshal(data, last)
 		}
-		if _, err := Train(part, graphs, cfg); err != nil {
+		if _, err := Train(context.Background(), part, graphs, cfg); err != nil {
 			t.Fatal(err)
 		}
 		if last == nil || last.Epoch != stopAt {
@@ -52,7 +53,7 @@ func TestResumeBitIdentical(t *testing.T) {
 		resumed := smallModel(7) // fresh weights; restore must overwrite them
 		rcfg := resumeCfg(epochs)
 		rcfg.Resume = last
-		stats, err := Train(resumed, graphs, rcfg)
+		stats, err := Train(context.Background(), resumed, graphs, rcfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -82,7 +83,7 @@ func TestResumeBitIdenticalWithValidation(t *testing.T) {
 		cfg.Val = val
 		cfg.Resume = resume
 		cfg.Checkpoint = hook
-		stats, err := Train(m, graphs, cfg)
+		stats, err := Train(context.Background(), m, graphs, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func TestInterruptCheckpointsAndStops(t *testing.T) {
 	const epochs = 6
 
 	full := smallModel(5)
-	fullStats, err := Train(full, graphs, resumeCfg(epochs))
+	fullStats, err := Train(context.Background(), full, graphs, resumeCfg(epochs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,7 +126,7 @@ func TestInterruptCheckpointsAndStops(t *testing.T) {
 	cfg.CheckpointEvery = 100 // off-schedule: only the interrupt forces a snapshot
 	cfg.Checkpoint = func(ck *Checkpoint) error { last = ck; return nil }
 	cfg.Interrupt = interrupt
-	stats, err := Train(m, graphs, cfg)
+	stats, err := Train(context.Background(), m, graphs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestInterruptCheckpointsAndStops(t *testing.T) {
 	resumed := smallModel(5)
 	rcfg := resumeCfg(epochs)
 	rcfg.Resume = last
-	rstats, err := Train(resumed, graphs, rcfg)
+	rstats, err := Train(context.Background(), resumed, graphs, rcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestResumeRejectsMismatches(t *testing.T) {
 	m := smallModel(3)
 	cfg := resumeCfg(2)
 	cfg.Checkpoint = func(ck *Checkpoint) error { last = ck; return nil }
-	if _, err := Train(m, graphs, cfg); err != nil {
+	if _, err := Train(context.Background(), m, graphs, cfg); err != nil {
 		t.Fatal(err)
 	}
 
@@ -170,14 +171,14 @@ func TestResumeRejectsMismatches(t *testing.T) {
 	other := New(tensor.NewRNG(3), Config{Hidden: 8, EncDepth: 1, HeadHidden: 8})
 	bad := resumeCfg(4)
 	bad.Resume = last
-	if _, err := Train(other, graphs, bad); err == nil {
+	if _, err := Train(context.Background(), other, graphs, bad); err == nil {
 		t.Fatal("accepted checkpoint from a different architecture")
 	}
 
 	// Wrong corpus size.
 	bad = resumeCfg(4)
 	bad.Resume = last
-	if _, err := Train(smallModel(3), trainSet(t, 10), bad); err == nil {
+	if _, err := Train(context.Background(), smallModel(3), trainSet(t, 10), bad); err == nil {
 		t.Fatal("accepted checkpoint from a different corpus size")
 	}
 
@@ -187,7 +188,7 @@ func TestResumeRejectsMismatches(t *testing.T) {
 	mangled.Idx[0] = mangled.Idx[1]
 	bad = resumeCfg(4)
 	bad.Resume = &mangled
-	if _, err := Train(smallModel(3), graphs, bad); err == nil {
+	if _, err := Train(context.Background(), smallModel(3), graphs, bad); err == nil {
 		t.Fatal("accepted checkpoint with a corrupt example order")
 	}
 }

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -34,7 +35,10 @@ type MetricHead struct {
 // keeping every encoder weight frozen (only the new head trains). targets
 // are the metric values in natural units; they are regressed in log10
 // space with Huber loss.
-func FineTuneMetricHead(m *Model, name string, graphs []*features.Graph, targets []float64, cfg TrainConfig) (*MetricHead, error) {
+func FineTuneMetricHead(ctx context.Context, m *Model, name string, graphs []*features.Graph, targets []float64, cfg TrainConfig) (*MetricHead, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if len(graphs) == 0 || len(graphs) != len(targets) {
 		return nil, fmt.Errorf("gnn: bad metric fine-tuning set (%d graphs, %d targets)", len(graphs), len(targets))
 	}

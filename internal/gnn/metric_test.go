@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestFineTuneMetricHeadLearns(t *testing.T) {
 	cfg := DefaultTrainConfig()
 	cfg.Epochs = 800
 	cfg.LR = 5e-3
-	head, err := FineTuneMetricHead(m, "instances", graphs, targets, cfg)
+	head, err := FineTuneMetricHead(context.Background(), m, "instances", graphs, targets, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestFineTuneMetricHeadFreezesEncoder(t *testing.T) {
 	before := m.Predict(g)
 	cfg := DefaultTrainConfig()
 	cfg.Epochs = 10
-	if _, err := FineTuneMetricHead(m, "x", []*features.Graph{g}, []float64{42}, cfg); err != nil {
+	if _, err := FineTuneMetricHead(context.Background(), m, "x", []*features.Graph{g}, []float64{42}, cfg); err != nil {
 		t.Fatal(err)
 	}
 	after := m.Predict(g)
@@ -77,16 +78,16 @@ func TestFineTuneMetricHeadFreezesEncoder(t *testing.T) {
 
 func TestFineTuneMetricHeadValidation(t *testing.T) {
 	m := smallModel(67)
-	if _, err := FineTuneMetricHead(m, "x", nil, nil, DefaultTrainConfig()); err == nil {
+	if _, err := FineTuneMetricHead(context.Background(), m, "x", nil, nil, DefaultTrainConfig()); err == nil {
 		t.Fatal("accepted empty set")
 	}
 	g := testGraph(t, false, nil)
-	if _, err := FineTuneMetricHead(m, "x", []*features.Graph{g}, []float64{1, 2}, DefaultTrainConfig()); err == nil {
+	if _, err := FineTuneMetricHead(context.Background(), m, "x", []*features.Graph{g}, []float64{1, 2}, DefaultTrainConfig()); err == nil {
 		t.Fatal("accepted length mismatch")
 	}
 	bad := DefaultTrainConfig()
 	bad.Epochs = 0
-	if _, err := FineTuneMetricHead(m, "x", []*features.Graph{g}, []float64{1}, bad); err == nil {
+	if _, err := FineTuneMetricHead(context.Background(), m, "x", []*features.Graph{g}, []float64{1}, bad); err == nil {
 		t.Fatal("accepted zero epochs")
 	}
 	_ = tensor.NewRNG(1)

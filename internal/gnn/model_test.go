@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"encoding/json"
 	"math"
 	"testing"
@@ -151,7 +152,7 @@ func TestTrainOverfitsSmallSet(t *testing.T) {
 	cfg.Epochs = 300
 	cfg.BatchSize = 3
 	cfg.LR = 5e-3
-	stats, err := Train(m, graphs, cfg)
+	stats, err := Train(context.Background(), m, graphs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,13 +170,13 @@ func TestTrainOverfitsSmallSet(t *testing.T) {
 
 func TestTrainRejectsBadInput(t *testing.T) {
 	m := smallModel(1)
-	if _, err := Train(m, nil, DefaultTrainConfig()); err == nil {
+	if _, err := Train(context.Background(), m, nil, DefaultTrainConfig()); err == nil {
 		t.Fatal("accepted empty training set")
 	}
 	g := testGraph(t, false, nil)
 	bad := DefaultTrainConfig()
 	bad.Epochs = 0
-	if _, err := Train(m, []*features.Graph{g}, bad); err == nil {
+	if _, err := Train(context.Background(), m, []*features.Graph{g}, bad); err == nil {
 		t.Fatal("accepted zero epochs")
 	}
 }
@@ -186,7 +187,7 @@ func TestTrainDeterministic(t *testing.T) {
 	cfg.Epochs = 5
 	run := func() float64 {
 		m := smallModel(9)
-		stats, err := Train(m, graphs, cfg)
+		stats, err := Train(context.Background(), m, graphs, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -307,7 +308,7 @@ func TestSinkReadoutTrains(t *testing.T) {
 	cfg := DefaultTrainConfig()
 	cfg.Epochs = 200
 	cfg.BatchSize = 2
-	stats, err := Train(m, graphs, cfg)
+	stats, err := Train(context.Background(), m, graphs, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -358,7 +359,7 @@ func TestEarlyStoppingRestoresBestWeights(t *testing.T) {
 	cfg.BatchSize = 2
 	cfg.Val = val
 	cfg.Patience = 5
-	stats, err := Train(m, train, cfg)
+	stats, err := Train(context.Background(), m, train, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +380,7 @@ func TestTrainWithoutValRunsAllEpochs(t *testing.T) {
 	m := smallModel(73)
 	cfg := DefaultTrainConfig()
 	cfg.Epochs = 7
-	stats, err := Train(m, []*features.Graph{g}, cfg)
+	stats, err := Train(context.Background(), m, []*features.Graph{g}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package gnn
 
 import (
+	"context"
 	"testing"
 
 	"zerotune/internal/features"
@@ -51,7 +52,7 @@ func TestTrainDeterministicAcrossWorkers(t *testing.T) {
 		cfg.BatchSize = 5 // odd split: shards get uneven spans
 		cfg.Workers = workers
 		cfg.Val = val
-		stats, err := Train(m, graphs, cfg)
+		stats, err := Train(context.Background(), m, graphs, cfg)
 		if err != nil {
 			t.Fatalf("train with %d workers: %v", workers, err)
 		}

@@ -1,12 +1,14 @@
 package gnn
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
 
 	"zerotune/internal/features"
 	"zerotune/internal/nn"
+	"zerotune/internal/obs"
 	"zerotune/internal/parallel"
 	"zerotune/internal/tensor"
 )
@@ -162,13 +164,19 @@ func reduceShards(shards []*gradShard) {
 // Train optimizes the model on the labelled graphs. Graphs must carry
 // LatencyMs and ThroughputEPS labels. Returns an error for empty input.
 //
+// The context plays two roles. Cancelling it stops training at the next
+// epoch boundary exactly like cfg.Interrupt (a final checkpoint is written
+// when one is configured, and TrainStats.Interrupted reports the early
+// exit). When it carries an obs tracer, every epoch emits a "train.epoch"
+// span with loss, gradient norm, and shuffle/validation/checkpoint timings.
+//
 // Minibatches run data-parallel: each batch is cut into fixed logical shards
 // (at most maxGradShards, fewer for small batches), every shard accumulates
 // loss and gradients into its own buffers on a pool of cfg.Workers
 // goroutines, and the shards are reduced in a fixed order before the Adam
 // step — so fixed-seed runs produce bit-identical models at any worker
 // count.
-func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, error) {
+func Train(ctx context.Context, m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, error) {
 	if len(graphs) == 0 {
 		return TrainStats{}, fmt.Errorf("gnn: no training graphs")
 	}
@@ -229,8 +237,13 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 	interrupted := false
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		epochsRun = epoch + 1
+		_, epochSpan := obs.StartSpan(ctx, "train.epoch")
+		epochSpan.SetAttr("epoch", epoch)
+		shuffleStart := time.Now()
 		rng.Shuffle(idx)
+		epochSpan.SetAttr("shuffle_ms", float64(time.Since(shuffleStart))/float64(time.Millisecond))
 		var epochLoss float64
+		var gradNorm float64
 		for batchStart := 0; batchStart < len(idx); batchStart += cfg.BatchSize {
 			end := batchStart + cfg.BatchSize
 			if end > len(idx) {
@@ -269,17 +282,26 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 				}
 			}
 			if cfg.ClipNorm > 0 {
-				nn.ClipGradNorm(params, cfg.ClipNorm)
+				gradNorm = nn.ClipGradNorm(params, cfg.ClipNorm)
 			}
 			opt.Step(params)
 		}
 		meanLoss = epochLoss / float64(len(idx))
+		epochSpan.SetAttr("loss", meanLoss)
+		if cfg.ClipNorm > 0 {
+			// Pre-clip global gradient norm of the epoch's last batch — the
+			// cheap per-epoch signal for divergence monitoring.
+			epochSpan.SetAttr("grad_norm", gradNorm)
+		}
 		if cfg.Progress != nil {
 			cfg.Progress(epoch, meanLoss)
 		}
 		earlyStop := false
 		if len(cfg.Val) > 0 {
+			valStart := time.Now()
 			valLoss := evalLoss(m, cfg.Val, cfg.HuberDelta, workers)
+			epochSpan.SetAttr("val_ms", float64(time.Since(valStart))/float64(time.Millisecond))
+			epochSpan.SetAttr("val_loss", valLoss)
 			if valLoss < bestVal {
 				bestVal = valLoss
 				// Reuse the snapshot buffers: fresh slices on every
@@ -302,17 +324,27 @@ func Train(m *Model, graphs []*features.Graph, cfg TrainConfig) (TrainStats, err
 			default:
 			}
 		}
+		if !interrupted && ctx.Err() != nil {
+			// Context cancellation is an interrupt: stop cleanly at the
+			// epoch boundary, after the final checkpoint below.
+			interrupted = true
+		}
 		if cfg.Checkpoint != nil && !earlyStop {
 			// On schedule, at the natural end, and at an interrupt boundary
 			// (so a signal loses at most the in-progress epoch, never the
 			// run). An early stop completes the run, so no snapshot needed.
 			if (epoch+1)%ckptEvery == 0 || epoch == cfg.Epochs-1 || interrupted {
+				ckptStart := time.Now()
 				ck := captureCheckpoint(epoch+1, params, opt, rng, idx, bestVal, bestSnap, sinceBest)
-				if err := cfg.Checkpoint(ck); err != nil {
+				err := cfg.Checkpoint(ck)
+				epochSpan.SetAttr("checkpoint_ms", float64(time.Since(ckptStart))/float64(time.Millisecond))
+				if err != nil {
+					epochSpan.End()
 					return TrainStats{}, fmt.Errorf("gnn: checkpoint after epoch %d: %w", epoch+1, err)
 				}
 			}
 		}
+		epochSpan.End()
 		if earlyStop || interrupted {
 			break
 		}

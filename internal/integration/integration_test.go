@@ -6,13 +6,13 @@ package integration_test
 
 import (
 	"bytes"
+	"context"
 	"sync"
 	"testing"
 
 	"zerotune/internal/adaptive"
 	"zerotune/internal/cluster"
 	"zerotune/internal/core"
-	"zerotune/internal/gnn"
 	"zerotune/internal/metrics"
 	"zerotune/internal/optimizer"
 	"zerotune/internal/queryplan"
@@ -37,9 +37,9 @@ func trainSmall(t *testing.T) *core.ZeroTune {
 			return
 		}
 		opts := core.DefaultTrainOptions()
-		opts.Model = gnn.Config{Hidden: 32, EncDepth: 1, HeadHidden: 32}
-		opts.Train.Epochs = 35
-		shared, _, trainErr = core.Train(items, opts)
+		opts.Hidden, opts.EncDepth, opts.HeadHidden = 32, 1, 32
+		opts.Epochs = 35
+		shared, _, trainErr = core.Train(context.Background(), items, opts)
 	})
 	if trainErr != nil {
 		t.Fatal(trainErr)
@@ -69,7 +69,7 @@ func TestEndToEndWorkflow(t *testing.T) {
 	}
 	q := queryplan.SpikeDetection(150_000)
 	p := queryplan.NewPQP(q)
-	pred, err := loaded.Predict(p, c)
+	pred, err := loaded.Predict(context.Background(), p, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestEndToEndWorkflow(t *testing.T) {
 
 	// Tune: the recommended plan must beat the naive deployment on true
 	// throughput at this saturating rate.
-	res, err := loaded.Tune(q, c, optimizer.DefaultTuneOptions())
+	res, err := loaded.Tune(context.Background(), q, c, optimizer.DefaultTuneOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,13 +116,13 @@ func TestEndToEndAdaptiveLoop(t *testing.T) {
 		t.Fatal(err)
 	}
 	ctl := adaptive.New(zt.Estimator())
-	st, err := ctl.Deploy(queryplan.SpikeDetection(20_000), c)
+	st, err := ctl.Deploy(context.Background(), queryplan.SpikeDetection(20_000), c)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Push the rate up 20×; the controller must react and land on a plan
 	// that sustains the new rate.
-	if _, err := ctl.Observe(st, c, 400_000); err != nil {
+	if _, err := ctl.Observe(context.Background(), st, c, 400_000); err != nil {
 		t.Fatal(err)
 	}
 	truth, err := simulator.Simulate(st.Plan.Clone(), c, simulator.Options{DisableNoise: true})
@@ -163,7 +163,7 @@ func TestEndToEndTunersProduceValidPlans(t *testing.T) {
 	}
 
 	var plans []*queryplan.PQP
-	tuned, err := zt.Tune(q, c, optimizer.DefaultTuneOptions())
+	tuned, err := zt.Tune(context.Background(), q, c, optimizer.DefaultTuneOptions())
 	if err != nil {
 		t.Fatal(err)
 	}

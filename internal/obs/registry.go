@@ -1,0 +1,381 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"zerotune/internal/metrics"
+)
+
+// Label is one metric dimension (key="value" in the exposition format).
+type Label struct{ Key, Value string }
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing atomic counter. Usable standalone;
+// Registry.Counter additionally names and exports it.
+type Counter struct{ v atomic.Uint64 }
+
+// NewCounter returns an unregistered counter.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// NewGauge returns an unregistered gauge.
+func NewGauge() *Gauge { return &Gauge{} }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+delta)) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind distinguishes the instrument behind a series.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+	kindInfo
+)
+
+func (k metricKind) String() string {
+	return [...]string{"counter", "gauge", "gauge-func", "histogram", "info"}[k]
+}
+
+// series is one (name, labelset) time series.
+type series struct {
+	labels  string // canonical rendered labels: `k1="v1",k2="v2"`, keys sorted
+	counter *Counter
+	gauge   *Gauge
+	fn      func() float64
+	hist    *Histogram
+}
+
+// family groups every series of one metric name.
+type family struct {
+	name   string
+	kind   metricKind
+	series map[string]*series
+	keys   []string // sorted lazily at render time
+}
+
+// Registry names metric instruments and renders them in the Prometheus
+// text exposition format. Registration is idempotent: asking for the same
+// name+labels returns the existing instrument; asking for the same name
+// with a different instrument kind panics (a programming error, caught in
+// tests, never at scrape time).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{fams: make(map[string]*family)} }
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelRE = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// renderLabels canonicalizes a label set: keys sorted, values escaped.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if !labelRE.MatchString(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the exposition-format escapes.
+func escapeLabelValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// lookup finds or creates the series for (name, labels), enforcing kind
+// consistency across the family. fill initializes a freshly created series
+// under the registry lock, so a renderer can never observe a series whose
+// instrument is still nil.
+func (r *Registry) lookup(name string, kind metricKind, labels []Label, fill func(*series)) *series {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.fams[name]
+	if !ok {
+		f = &family{name: name, kind: kind, series: make(map[string]*series)}
+		r.fams[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labels: key}
+		fill(s)
+		f.series[key] = s
+		f.keys = nil // invalidate the sorted-key cache
+	}
+	return s
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	s := r.lookup(name, kindCounter, labels, func(s *series) { s.counter = NewCounter() })
+	return s.counter
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	s := r.lookup(name, kindGauge, labels, func(s *series) { s.gauge = NewGauge() })
+	return s.gauge
+}
+
+// GaugeFunc exports a value computed at scrape time (uptime, a size read
+// from another subsystem). Re-registering replaces the function. fn is
+// called during rendering with the registry lock held, so it must not call
+// back into the registry.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	s := r.lookup(name, kindGaugeFunc, labels, func(s *series) {})
+	r.mu.Lock()
+	s.fn = fn
+	r.mu.Unlock()
+}
+
+// Histogram returns the named histogram over the given ascending upper
+// bucket bounds, creating it on first use (ringSize bounds the quantile
+// ring; see NewHistogram). Bounds are fixed at first registration.
+func (r *Registry) Histogram(name string, bounds []float64, ringSize int, labels ...Label) *Histogram {
+	s := r.lookup(name, kindHistogram, labels, func(s *series) { s.hist = NewHistogram(bounds, ringSize) })
+	return s.hist
+}
+
+// SetInfo publishes a constant-1 info metric whose labels carry identity
+// (model ID, build revision). Unlike other instruments the label set is
+// replaceable: publishing again drops the previous series, so a hot model
+// swap replaces — not accumulates — the identity series.
+func (r *Registry) SetInfo(name string, labels ...Label) {
+	s := r.lookup(name, kindInfo, labels, func(s *series) {})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	for k := range f.series {
+		if k != s.labels {
+			delete(f.series, k)
+		}
+	}
+	f.keys = nil
+}
+
+// quantilePoints are the summary quantiles exported for histograms.
+var quantilePoints = []float64{0.5, 0.9, 0.99}
+
+// WritePrometheus renders every registered series in the text exposition
+// format, families sorted by name and series sorted by label set, so the
+// output is deterministic. Rendering happens into a buffer under the
+// registry lock; only the final write touches w, so a slow scraper never
+// blocks instrument registration.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for name := range r.fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := r.fams[name]
+		if f.keys == nil {
+			for k := range f.series {
+				f.keys = append(f.keys, k)
+			}
+			sort.Strings(f.keys)
+		}
+		for _, k := range f.keys {
+			s := f.series[k]
+			switch f.kind {
+			case kindCounter:
+				writeSample(&b, name, s.labels, "", float64(s.counter.Load()), true)
+			case kindGauge:
+				writeSample(&b, name, s.labels, "", s.gauge.Load(), false)
+			case kindGaugeFunc:
+				writeSample(&b, name, s.labels, "", s.fn(), false)
+			case kindInfo:
+				writeSample(&b, name, s.labels, "", 1, true)
+			case kindHistogram:
+				writeHistogram(&b, name, s.labels, s.hist.Snapshot())
+			}
+		}
+	}
+	r.mu.Unlock()
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeSample renders one `name{labels,extra} value` line.
+func writeSample(w *strings.Builder, name, labels, extra string, v float64, integer bool) {
+	w.WriteString(name)
+	if labels != "" || extra != "" {
+		w.WriteByte('{')
+		w.WriteString(labels)
+		if labels != "" && extra != "" {
+			w.WriteByte(',')
+		}
+		w.WriteString(extra)
+		w.WriteByte('}')
+	}
+	if integer {
+		fmt.Fprintf(w, " %d\n", uint64(v))
+	} else {
+		fmt.Fprintf(w, " %g\n", v)
+	}
+}
+
+// writeHistogram renders cumulative buckets, sum, count and the ring
+// quantiles for one histogram series.
+func writeHistogram(w *strings.Builder, name, labels string, s HistogramSnapshot) {
+	cum := uint64(0)
+	for i, b := range s.Bounds {
+		cum += s.Counts[i]
+		writeSample(w, name+"_bucket", labels, fmt.Sprintf("le=%q", fmt.Sprintf("%g", b)), float64(cum), true)
+	}
+	writeSample(w, name+"_bucket", labels, `le="+Inf"`, float64(s.Count), true)
+	writeSample(w, name+"_sum", labels, "", s.Sum, false)
+	writeSample(w, name+"_count", labels, "", float64(s.Count), true)
+	for _, q := range quantilePoints {
+		if v, ok := s.Quantiles[q]; ok {
+			writeSample(w, name, labels, fmt.Sprintf("quantile=%q", fmt.Sprintf("%g", q)), v, false)
+		}
+	}
+}
+
+// Histogram is a concurrency-safe fixed-bucket histogram that additionally
+// keeps a ring of recent observations for quantile summaries (quantiles
+// from buckets alone would be bound-quantized). Bounds are upper bucket
+// edges; observations above the last bound land in the implicit +Inf
+// bucket.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64
+	counts []uint64 // len(bounds)+1, last is +Inf
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+
+	ring []float64
+	pos  int
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds,
+// remembering the last ringSize observations for quantiles (default 1024).
+func NewHistogram(bounds []float64, ringSize int) *Histogram {
+	if ringSize < 1 {
+		ringSize = 1024
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+		min:    math.Inf(1),
+		max:    math.Inf(-1),
+		ring:   make([]float64, 0, ringSize),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.count++
+	h.sum += v
+	h.min = math.Min(h.min, v)
+	h.max = math.Max(h.max, v)
+	if len(h.ring) < cap(h.ring) {
+		h.ring = append(h.ring, v)
+	} else {
+		h.ring[h.pos] = v
+		h.pos = (h.pos + 1) % cap(h.ring)
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy for rendering.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+	Min    float64
+	Max    float64
+	// Quantiles over the recent-observation ring; nil when no data yet
+	// (TryQuantile keeps the empty case panic-free).
+	Quantiles map[float64]float64
+}
+
+// Snapshot copies the histogram state and computes ring quantiles.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	ring := append([]float64(nil), h.ring...)
+	s := HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.count, Sum: h.sum, Min: h.min, Max: h.max,
+	}
+	h.mu.Unlock()
+	for _, q := range quantilePoints {
+		if v, ok := metrics.TryQuantile(ring, q); ok {
+			if s.Quantiles == nil {
+				s.Quantiles = make(map[float64]float64, len(quantilePoints))
+			}
+			s.Quantiles[q] = v
+		}
+	}
+	return s
+}

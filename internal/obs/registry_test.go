@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs_total", L("endpoint", "predict")).Add(7)
+	r.Counter("reqs_total", L("endpoint", "tune")).Add(2)
+	r.Gauge("queue_depth").Set(3.5)
+	r.GaugeFunc("uptime_seconds", func() float64 { return 12.25 })
+	r.SetInfo("model_info", L("id", `we"ird\pa`+"\n"+`th`), L("gen", "4"))
+	h := r.Histogram("latency_seconds", []float64{0.001, 0.01, 0.1}, 16, L("endpoint", "predict"))
+	for _, v := range []float64{0.0005, 0.004, 0.02, 0.5} {
+		h.Observe(v)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("strict parse of own output failed: %v\n%s", err, text)
+	}
+	if err := CheckHistograms(samples); err != nil {
+		t.Fatalf("%v\n%s", err, text)
+	}
+
+	checks := []struct {
+		name   string
+		labels []Label
+		want   float64
+	}{
+		{"reqs_total", []Label{L("endpoint", "predict")}, 7},
+		{"reqs_total", []Label{L("endpoint", "tune")}, 2},
+		{"queue_depth", nil, 3.5},
+		{"uptime_seconds", nil, 12.25},
+		{"model_info", []Label{L("id", `we"ird\pa`+"\n"+`th`), L("gen", "4")}, 1},
+		{"latency_seconds_bucket", []Label{L("endpoint", "predict"), L("le", "0.01")}, 2},
+		{"latency_seconds_bucket", []Label{L("endpoint", "predict"), L("le", "+Inf")}, 4},
+		{"latency_seconds_count", []Label{L("endpoint", "predict")}, 4},
+	}
+	for _, c := range checks {
+		got, ok := FindSample(samples, c.name, c.labels...)
+		if !ok {
+			t.Errorf("sample %s%v missing from output:\n%s", c.name, c.labels, text)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s%v = %g, want %g", c.name, c.labels, got, c.want)
+		}
+	}
+	sum, _ := FindSample(samples, "latency_seconds_sum", L("endpoint", "predict"))
+	if want := 0.0005 + 0.004 + 0.02 + 0.5; sum < want-1e-12 || sum > want+1e-12 {
+		t.Errorf("histogram sum = %g, want %g", sum, want)
+	}
+	if _, ok := FindSample(samples, "latency_seconds", L("quantile", "0.5")); !ok {
+		t.Errorf("quantile series missing:\n%s", text)
+	}
+}
+
+func TestRegistryDeterministicOutput(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("b_total", L("x", "2")).Inc()
+		r.Counter("b_total", L("x", "1")).Inc()
+		r.Gauge("a_gauge").Set(1)
+		var b strings.Builder
+		_ = r.WritePrometheus(&b)
+		return b.String()
+	}
+	if build() != build() {
+		t.Fatal("output is not deterministic")
+	}
+	out := build()
+	if strings.Index(out, "a_gauge") > strings.Index(out, "b_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+	if strings.Index(out, `x="1"`) > strings.Index(out, `x="2"`) {
+		t.Errorf("series not sorted by label set:\n%s", out)
+	}
+}
+
+func TestRegistryIdempotentAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("hits_total")
+	c1.Add(5)
+	if c2 := r.Counter("hits_total"); c2 != c1 || c2.Load() != 5 {
+		t.Fatal("re-registering must return the same instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch must panic")
+		}
+	}()
+	r.Gauge("hits_total")
+}
+
+func TestRegistryInfoReplacement(t *testing.T) {
+	r := NewRegistry()
+	r.SetInfo("model_info", L("id", "a"), L("gen", "1"))
+	r.SetInfo("model_info", L("id", "b"), L("gen", "2"))
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	samples, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := FindSample(samples, "model_info", L("id", "a")); ok {
+		t.Error("stale info series survived replacement")
+	}
+	if _, ok := FindSample(samples, "model_info", L("id", "b"), L("gen", "2")); !ok {
+		t.Error("current info series missing")
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("c_total", L("g", string(rune('a'+g%4)))).Inc()
+				r.Histogram("h", []float64{1, 10}, 8).Observe(float64(i))
+				var b strings.Builder
+				_ = r.WritePrometheus(&b)
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := uint64(0)
+	for _, l := range []string{"a", "b", "c", "d"} {
+		total += r.Counter("c_total", L("g", l)).Load()
+	}
+	if total != 1600 {
+		t.Fatalf("counter total = %d, want 1600", total)
+	}
+}
+
+func TestParseTextRejectsMalformed(t *testing.T) {
+	bad := []string{
+		`1name 3`,
+		`name{le="0.1" 3`,
+		`name{le=0.1} 3`,
+		`name{le="a",le="b"} 3`,
+		`name{le="x\q"} 3`,
+		`name 3 extra`,
+		`name notanumber`,
+		`name{} `,
+	}
+	for _, line := range bad {
+		if _, err := ParseText(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("ParseText accepted malformed line %q", line)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestSpanLifecycle(t *testing.T) {
+	tr := NewTracer(8)
+	ctx, root := StartTrace(context.Background(), tr, "root")
+	if root == nil || !root.root {
+		t.Fatal("StartTrace must return a root span")
+	}
+	if got := TraceID(ctx); got != root.TraceID {
+		t.Fatalf("TraceID(ctx) = %q, want %q", got, root.TraceID)
+	}
+	cctx, child := StartSpan(ctx, "child")
+	if child.ParentID != root.SpanID || child.TraceID != root.TraceID {
+		t.Fatalf("child parent/trace = %q/%q, want %q/%q",
+			child.ParentID, child.TraceID, root.SpanID, root.TraceID)
+	}
+	_, grand := StartSpan(cctx, "grandchild")
+	if grand.ParentID != child.SpanID {
+		t.Fatalf("grandchild parent = %q, want %q", grand.ParentID, child.SpanID)
+	}
+	grand.SetAttr("k", 42)
+	grand.End()
+	child.End()
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("got %d traces, want 1", len(traces))
+	}
+	got := traces[0]
+	if got.Root != "root" || len(got.Spans) != 3 {
+		t.Fatalf("trace root=%q spans=%d, want root/3", got.Root, len(got.Spans))
+	}
+	for _, sp := range got.Spans {
+		if sp.Duration <= 0 {
+			t.Errorf("span %s has non-positive duration %d", sp.Name, sp.Duration)
+		}
+	}
+	if got.Spans[0].Name != "grandchild" || got.Spans[0].Attrs["k"] != 42 {
+		t.Errorf("first-ended span = %+v, want grandchild with k=42", got.Spans[0])
+	}
+	if c, d := tr.Stats(); c != 1 || d != 0 {
+		t.Errorf("stats = (%d completed, %d dropped), want (1, 0)", c, d)
+	}
+}
+
+func TestSpanDisabledNoTracer(t *testing.T) {
+	ctx, sp := StartSpan(context.Background(), "anything")
+	if sp != nil {
+		t.Fatal("StartSpan without tracer must return nil span")
+	}
+	// All nil-span methods must be safe.
+	sp.SetAttr("k", "v")
+	sp.End()
+	sp.End()
+	if id := TraceID(ctx); id != "" {
+		t.Fatalf("TraceID without tracer = %q, want empty", id)
+	}
+}
+
+func TestSpanDoubleEndAndOrphan(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := StartTrace(context.Background(), tr, "root")
+	_, child := StartSpan(ctx, "late-child")
+	root.End()
+	root.End()  // double End: no-op, not a second trace
+	child.End() // ends after its trace finalized: orphan
+	if c, d := tr.Stats(); c != 1 || d != 1 {
+		t.Fatalf("stats = (%d, %d), want (1 completed, 1 dropped)", c, d)
+	}
+	traces := tr.Traces()
+	if len(traces) != 1 || len(traces[0].Spans) != 1 {
+		t.Fatalf("ring should hold 1 trace with only the root span, got %+v", traces)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	tr := NewTracer(3)
+	for i := 0; i < 5; i++ {
+		_, sp := StartTrace(context.Background(), tr, fmt.Sprintf("t%d", i))
+		sp.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 3 {
+		t.Fatalf("ring holds %d traces, want 3", len(traces))
+	}
+	// Newest first: t4, t3, t2.
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if traces[i].Root != want {
+			t.Errorf("traces[%d].Root = %q, want %q", i, traces[i].Root, want)
+		}
+	}
+	if c, _ := tr.Stats(); c != 5 {
+		t.Errorf("completed = %d, want 5 (eviction must not uncount)", c)
+	}
+}
+
+func TestActiveTraceEviction(t *testing.T) {
+	tr := NewTracer(4)
+	tr.maxActive = 2
+	_, a := StartTrace(context.Background(), tr, "a")
+	_, _ = StartTrace(context.Background(), tr, "b")
+	_, c := StartTrace(context.Background(), tr, "c") // evicts a
+	a.End()                                           // trace already evicted: orphan
+	c.End()
+	if completed, dropped := tr.Stats(); completed != 1 || dropped != 2 {
+		t.Fatalf("stats = (%d, %d), want (1 completed, 2 dropped: evicted trace + orphan root)",
+			completed, dropped)
+	}
+}
+
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				ctx, root := StartTrace(context.Background(), tr, "work")
+				_, child := StartSpan(ctx, "inner")
+				child.SetAttr("i", i)
+				child.End()
+				root.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if c, d := tr.Stats(); c != 400 || d != 0 {
+		t.Fatalf("stats = (%d, %d), want (400, 0)", c, d)
+	}
+	for _, trc := range tr.Traces() {
+		if len(trc.Spans) != 2 {
+			t.Fatalf("trace %s has %d spans, want 2", trc.TraceID, len(trc.Spans))
+		}
+	}
+}
+
+func TestTracesHandlerJSON(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := StartTrace(context.Background(), tr, "req")
+	_, child := StartSpan(ctx, "step")
+	child.End()
+	root.End()
+
+	rec := httptest.NewRecorder()
+	TracesHandler(tr).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	var got []TraceData
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("traces endpoint is not valid JSON: %v", err)
+	}
+	if len(got) != 1 || got[0].Root != "req" || len(got[0].Spans) != 2 {
+		t.Fatalf("decoded %+v, want one 2-span trace rooted at req", got)
+	}
+	if got[0].Spans[0].ParentID != got[0].Spans[1].SpanID {
+		t.Errorf("parent link lost in JSON round-trip")
+	}
+
+	empty := httptest.NewRecorder()
+	TracesHandler(NewTracer(4)).ServeHTTP(empty, httptest.NewRequest("GET", "/debug/traces", nil))
+	if body := empty.Body.String(); body[0] != '[' {
+		t.Errorf("empty tracer must serve a JSON array, got %q", body)
+	}
+}

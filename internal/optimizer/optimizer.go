@@ -9,10 +9,12 @@
 package optimizer
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"zerotune/internal/cluster"
+	"zerotune/internal/obs"
 	"zerotune/internal/optisample"
 	"zerotune/internal/queryplan"
 	"zerotune/internal/tensor"
@@ -27,15 +29,15 @@ type Estimate struct {
 // CostEstimator predicts the cost of executing a placed parallel query plan
 // on a cluster — the what-if interface of Fig. 2.
 type CostEstimator interface {
-	Estimate(p *queryplan.PQP, c *cluster.Cluster) (Estimate, error)
+	Estimate(ctx context.Context, p *queryplan.PQP, c *cluster.Cluster) (Estimate, error)
 }
 
 // EstimatorFunc adapts a function to the CostEstimator interface.
-type EstimatorFunc func(p *queryplan.PQP, c *cluster.Cluster) (Estimate, error)
+type EstimatorFunc func(ctx context.Context, p *queryplan.PQP, c *cluster.Cluster) (Estimate, error)
 
 // Estimate implements CostEstimator.
-func (f EstimatorFunc) Estimate(p *queryplan.PQP, c *cluster.Cluster) (Estimate, error) {
-	return f(p, c)
+func (f EstimatorFunc) Estimate(ctx context.Context, p *queryplan.PQP, c *cluster.Cluster) (Estimate, error) {
+	return f(ctx, p, c)
 }
 
 // BatchCostEstimator is an optional CostEstimator extension for estimators
@@ -45,7 +47,7 @@ func (f EstimatorFunc) Estimate(p *queryplan.PQP, c *cluster.Cluster) (Estimate,
 // must return one estimate per plan, in order.
 type BatchCostEstimator interface {
 	CostEstimator
-	EstimateBatch(ps []*queryplan.PQP, c *cluster.Cluster) ([]Estimate, error)
+	EstimateBatch(ctx context.Context, ps []*queryplan.PQP, c *cluster.Cluster) ([]Estimate, error)
 }
 
 // WeightedCost is Eq. 1: wt·C_L + (1−wt)·C_T with both costs min-max
@@ -103,42 +105,51 @@ type TuneResult struct {
 
 // Tune selects parallelism degrees for q on cluster c by enumerating
 // candidate configurations around the analytical OptiSample assignment and
-// choosing the one with the minimum predicted weighted cost.
-func Tune(q *queryplan.Query, c *cluster.Cluster, est CostEstimator, opts TuneOptions) (*TuneResult, error) {
+// choosing the one with the minimum predicted weighted cost. The context
+// cancels the what-if sweep between estimates and scopes its spans.
+func Tune(ctx context.Context, q *queryplan.Query, c *cluster.Cluster, est CostEstimator, opts TuneOptions) (*TuneResult, error) {
 	if err := q.Validate(); err != nil {
 		return nil, fmt.Errorf("optimizer: %w", err)
 	}
 	if opts.Weight < 0 || opts.Weight > 1 {
 		return nil, fmt.Errorf("optimizer: weight %v outside [0,1]", opts.Weight)
 	}
+	ctx, span := obs.StartSpan(ctx, "optimizer.tune")
+	defer span.End()
 
 	candidates, err := enumerate(q, c, opts)
 	if err != nil {
 		return nil, err
 	}
+	span.SetAttr("candidates", len(candidates))
 
 	for _, cand := range candidates {
 		if err := cluster.Place(cand, c); err != nil {
 			return nil, err
 		}
 	}
+	sweepCtx, sweep := obs.StartSpan(ctx, "optimizer.estimate")
 	var estimates []Estimate
 	if be, ok := est.(BatchCostEstimator); ok {
-		estimates, err = be.EstimateBatch(candidates, c)
-		if err != nil {
-			return nil, fmt.Errorf("optimizer: estimate failed: %w", err)
-		}
-		if len(estimates) != len(candidates) {
-			return nil, fmt.Errorf("optimizer: batch estimator returned %d estimates for %d candidates",
+		estimates, err = be.EstimateBatch(sweepCtx, candidates, c)
+		if err == nil && len(estimates) != len(candidates) {
+			err = fmt.Errorf("batch estimator returned %d estimates for %d candidates",
 				len(estimates), len(candidates))
 		}
 	} else {
 		estimates = make([]Estimate, len(candidates))
 		for i, cand := range candidates {
-			if estimates[i], err = est.Estimate(cand, c); err != nil {
-				return nil, fmt.Errorf("optimizer: estimate failed: %w", err)
+			if err = sweepCtx.Err(); err != nil {
+				break
+			}
+			if estimates[i], err = est.Estimate(sweepCtx, cand, c); err != nil {
+				break
 			}
 		}
+	}
+	sweep.End()
+	if err != nil {
+		return nil, fmt.Errorf("optimizer: estimate failed: %w", err)
 	}
 
 	latMin, latMax := math.Inf(1), math.Inf(-1)

@@ -1,6 +1,7 @@
 package optimizer
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -29,12 +30,18 @@ func testCluster(t *testing.T) *cluster.Cluster {
 
 // oracle estimates with the simulator itself — a perfect cost model, useful
 // to test the optimizer machinery in isolation.
-func oracle(p *queryplan.PQP, c *cluster.Cluster) (Estimate, error) {
+func oracle(_ context.Context, p *queryplan.PQP, c *cluster.Cluster) (Estimate, error) {
 	res, err := simulator.Simulate(p, c, simulator.Options{DisableNoise: true})
 	if err != nil {
 		return Estimate{}, err
 	}
 	return Estimate{LatencyMs: res.LatencyMs, ThroughputEPS: res.ThroughputEPS}, nil
+}
+
+// observeOracle adapts oracle to the ctx-less Observe shape Greedy takes
+// (an observation is a real deployment, not a cancellable estimate).
+func observeOracle(p *queryplan.PQP, c *cluster.Cluster) (Estimate, error) {
+	return oracle(context.Background(), p, c)
 }
 
 func runtimeObserve(p *queryplan.PQP, c *cluster.Cluster) (Estimate, map[int]Diagnosis, error) {
@@ -76,7 +83,7 @@ func TestWeightedCostNormalization(t *testing.T) {
 func TestTuneBeatsNaiveOnHighRate(t *testing.T) {
 	q := linear(600_000)
 	c := testCluster(t)
-	res, err := Tune(q, c, EstimatorFunc(oracle), DefaultTuneOptions())
+	res, err := Tune(context.Background(), q, c, EstimatorFunc(oracle), DefaultTuneOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +95,7 @@ func TestTuneBeatsNaiveOnHighRate(t *testing.T) {
 	if err := cluster.Place(naive, c); err != nil {
 		t.Fatal(err)
 	}
-	naiveEst, err := oracle(naive, c)
+	naiveEst, err := oracle(context.Background(), naive, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +112,7 @@ func TestTuneRespectsWeightBounds(t *testing.T) {
 	c := testCluster(t)
 	bad := DefaultTuneOptions()
 	bad.Weight = 1.5
-	if _, err := Tune(q, c, EstimatorFunc(oracle), bad); err == nil {
+	if _, err := Tune(context.Background(), q, c, EstimatorFunc(oracle), bad); err == nil {
 		t.Fatal("accepted weight > 1")
 	}
 }
@@ -113,11 +120,11 @@ func TestTuneRespectsWeightBounds(t *testing.T) {
 func TestTuneDeterministic(t *testing.T) {
 	q := linear(100_000)
 	c := testCluster(t)
-	r1, err := Tune(q, c, EstimatorFunc(oracle), DefaultTuneOptions())
+	r1, err := Tune(context.Background(), q, c, EstimatorFunc(oracle), DefaultTuneOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := Tune(q, c, EstimatorFunc(oracle), DefaultTuneOptions())
+	r2, err := Tune(context.Background(), q, c, EstimatorFunc(oracle), DefaultTuneOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +139,7 @@ func TestTuneDeterministic(t *testing.T) {
 func TestTunePlansWithinCores(t *testing.T) {
 	q := linear(4_000_000)
 	c := testCluster(t)
-	res, err := Tune(q, c, EstimatorFunc(oracle), DefaultTuneOptions())
+	res, err := Tune(context.Background(), q, c, EstimatorFunc(oracle), DefaultTuneOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +163,7 @@ func chainedFilters(rate float64, n int) *queryplan.Query {
 func TestGreedySplitsSaturatedChain(t *testing.T) {
 	q := chainedFilters(600_000, 4)
 	c := testCluster(t)
-	res, err := Greedy(q, c, oracle, 24, 0.5)
+	res, err := Greedy(q, c, observeOracle, 24, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +184,7 @@ func TestGreedySplitsSaturatedChain(t *testing.T) {
 	if err := cluster.Place(naive, c); err != nil {
 		t.Fatal(err)
 	}
-	naiveEst, err := oracle(naive, c)
+	naiveEst, err := oracle(context.Background(), naive, c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +196,7 @@ func TestGreedySplitsSaturatedChain(t *testing.T) {
 func TestGreedyStopsAtLocalOptimum(t *testing.T) {
 	q := chainedFilters(100, 3) // trivial load: splitting only adds cost
 	c := testCluster(t)
-	res, err := Greedy(q, c, oracle, 50, 0.5)
+	res, err := Greedy(q, c, observeOracle, 50, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +209,7 @@ func TestGreedyStopsAtLocalOptimum(t *testing.T) {
 }
 
 func TestGreedyRejectsBadBudget(t *testing.T) {
-	if _, err := Greedy(linear(1000), testCluster(t), oracle, 0, 0.5); err == nil {
+	if _, err := Greedy(linear(1000), testCluster(t), observeOracle, 0, 0.5); err == nil {
 		t.Fatal("accepted zero budget")
 	}
 }
@@ -306,7 +313,7 @@ func TestTuneNearExhaustiveOptimum(t *testing.T) {
 			if err := cluster.Place(p, c); err != nil {
 				t.Fatal(err)
 			}
-			e, err := oracle(p, c)
+			e, err := oracle(context.Background(), p, c)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -323,11 +330,11 @@ func TestTuneNearExhaustiveOptimum(t *testing.T) {
 		}
 	}
 
-	res, err := Tune(q, c, EstimatorFunc(oracle), DefaultTuneOptions())
+	res, err := Tune(context.Background(), q, c, EstimatorFunc(oracle), DefaultTuneOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
-	tunedTrue, err := oracle(res.Plan, c)
+	tunedTrue, err := oracle(context.Background(), res.Plan, c)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,31 +1,21 @@
 package serve
 
 import (
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"zerotune/internal/features"
 	"zerotune/internal/gnn"
-)
-
-var (
-	// errBatcherClosed is returned for predictions submitted after shutdown.
-	errBatcherClosed = errors.New("serve: batcher closed")
-	// errQueueFull is returned when the submission queue is at capacity —
-	// backpressure the HTTP layer maps to 429 instead of letting requests
-	// pile up blocked inside the process.
-	errQueueFull = errors.New("serve: prediction queue full")
-	// errPredictTimeout is returned when a submitted prediction's batch did
-	// not run within the deadline (a wedged or overloaded flush loop); the
-	// HTTP layer maps it to 503 so clients fail fast instead of hanging.
-	errPredictTimeout = errors.New("serve: prediction deadline exceeded")
+	"zerotune/internal/obs"
 )
 
 // batchItem is one in-flight prediction: the encoded graph, the model
-// revision captured at request time, and the slot the result lands in.
+// revision captured at request time, the request context (cancellation +
+// trace), and the slot the result lands in.
 type batchItem struct {
+	ctx   context.Context
 	g     *features.Graph
 	entry *ModelEntry
 	pred  gnn.Prediction
@@ -60,7 +50,7 @@ type Batcher struct {
 // NewBatcher starts the flush loop. window <= 0 flushes opportunistically
 // (whatever is queued, no waiting); max < 1 defaults to 64; queue bounds
 // the number of submitted-but-unflushed items (submissions beyond it fail
-// fast with errQueueFull); deadline bounds how long Predict waits for its
+// fast with ErrQueueFull); deadline bounds how long Predict waits for its
 // batch to run (<= 0: forever).
 func NewBatcher(window time.Duration, max, queue int, deadline time.Duration, onBatch func(int)) *Batcher {
 	if max < 1 {
@@ -80,39 +70,50 @@ func NewBatcher(window time.Duration, max, queue int, deadline time.Duration, on
 }
 
 // Predict submits one encoded graph bound to a model revision and blocks
-// until its batch has run, the deadline passes, or the batcher shuts down.
-// The model binding travels with the item, so a hot swap between submission
-// and flush still evaluates the model the request was admitted under. A
-// full queue fails immediately with errQueueFull rather than blocking the
-// caller.
-func (b *Batcher) Predict(entry *ModelEntry, g *features.Graph) (gnn.Prediction, error) {
-	it := &batchItem{g: g, entry: entry, done: make(chan struct{})}
+// until its batch has run, the context is cancelled, the deadline passes,
+// or the batcher shuts down. The model binding and the context travel with
+// the item: a hot swap between submission and flush still evaluates the
+// model the request was admitted under, and a request whose context is
+// cancelled while queued (client disconnect) is dropped at flush time
+// before it joins the forward pass. A full queue fails immediately with
+// ErrQueueFull rather than blocking the caller.
+func (b *Batcher) Predict(ctx context.Context, entry *ModelEntry, g *features.Graph) (gnn.Prediction, error) {
+	ctx, span := obs.StartSpan(ctx, "batcher.enqueue")
+	defer span.End()
+	if err := ctx.Err(); err != nil {
+		return gnn.Prediction{}, err
+	}
+	it := &batchItem{ctx: ctx, g: g, entry: entry, done: make(chan struct{})}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
-		return gnn.Prediction{}, errBatcherClosed
+		return gnn.Prediction{}, ErrBatcherClosed
 	}
 	select {
 	case b.in <- it:
 		b.mu.RUnlock()
 	default:
 		b.mu.RUnlock()
-		return gnn.Prediction{}, errQueueFull
+		return gnn.Prediction{}, ErrQueueFull
 	}
-	if b.deadline <= 0 {
-		<-it.done
-		return it.pred, it.err
+	var deadline <-chan time.Time
+	if b.deadline > 0 {
+		timer := time.NewTimer(b.deadline)
+		defer timer.Stop()
+		deadline = timer.C
 	}
-	timer := time.NewTimer(b.deadline)
-	defer timer.Stop()
 	select {
 	case <-it.done:
 		return it.pred, it.err
-	case <-timer.C:
+	case <-ctx.Done():
+		// The queued item is abandoned; the flush loop sees the cancelled
+		// context and fails it without spending a forward pass on it.
+		return gnn.Prediction{}, ctx.Err()
+	case <-deadline:
 		// The item stays queued and will eventually be flushed or failed;
 		// nobody reads its result. Returning now is what keeps a wedged
 		// batch from hanging the HTTP client.
-		return gnn.Prediction{}, errPredictTimeout
+		return gnn.Prediction{}, ErrPredictTimeout
 	}
 }
 
@@ -177,13 +178,27 @@ func (b *Batcher) collect(first *batchItem) []*batchItem {
 	return batch
 }
 
-// run evaluates one batch. Items are grouped by their bound model revision
+// run evaluates one batch. Requests cancelled while they were queued are
+// failed first — a disconnected client's prediction never joins the
+// forward pass. The survivors are grouped by their bound model revision
 // (normally a single group; briefly two around a hot swap) and each group
 // rides the data-parallel batch-inference path.
 func (b *Batcher) run(batch []*batchItem) {
-	b.onBatch(len(batch))
-	groups := make(map[*ModelEntry][]*batchItem, 1)
+	live := batch[:0]
 	for _, it := range batch {
+		if it.ctx != nil && it.ctx.Err() != nil {
+			it.err = it.ctx.Err()
+			close(it.done)
+			continue
+		}
+		live = append(live, it)
+	}
+	if len(live) == 0 {
+		return
+	}
+	b.onBatch(len(live))
+	groups := make(map[*ModelEntry][]*batchItem, 1)
+	for _, it := range live {
 		groups[it.entry] = append(groups[it.entry], it)
 	}
 	for entry, items := range groups {
@@ -192,10 +207,26 @@ func (b *Batcher) run(batch []*batchItem) {
 }
 
 func (b *Batcher) runGroup(entry *ModelEntry, items []*batchItem) {
+	// One gnn.forward span per item, bracketing the shared forward pass:
+	// every traced request records the inference it actually waited on,
+	// with its own parent link into that request's trace.
+	spans := make([]*obs.Span, len(items))
+	for i, it := range items {
+		if it.ctx != nil {
+			_, spans[i] = obs.StartSpan(it.ctx, "gnn.forward")
+			spans[i].SetAttr("batch", len(items))
+		}
+	}
+	endSpans := func() {
+		for _, sp := range spans {
+			sp.End()
+		}
+	}
 	// A validated model should never panic, but a forward-pass crash must
 	// fail the batch, not the server.
 	defer func() {
 		if r := recover(); r != nil {
+			endSpans()
 			for _, it := range items {
 				if it.err == nil && !closed(it.done) {
 					it.err = fmt.Errorf("serve: inference panic: %v", r)
@@ -209,6 +240,9 @@ func (b *Batcher) runGroup(entry *ModelEntry, items []*batchItem) {
 		graphs[i] = it.g
 	}
 	preds := entry.ZT.PredictEncoded(graphs)
+	// Spans end before done closes: a span that outlived its request's
+	// root span would be dropped as an orphan.
+	endSpans()
 	for i, it := range items {
 		it.pred = preds[i]
 		close(it.done)
@@ -230,7 +264,7 @@ func (b *Batcher) failQueued() {
 	for {
 		select {
 		case it := <-b.in:
-			it.err = errBatcherClosed
+			it.err = ErrBatcherClosed
 			close(it.done)
 		default:
 			return

@@ -4,6 +4,7 @@
 package serve
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"testing"
@@ -30,7 +31,7 @@ func TestBatcherCloseVsPredictNoStrandedCaller(t *testing.T) {
 			go func(i int) {
 				defer wg.Done()
 				<-start
-				_, err := b.Predict(entry, nil)
+				_, err := b.Predict(context.Background(), entry, nil)
 				results[i] = err
 			}(i)
 		}
@@ -63,7 +64,7 @@ func TestBatcherCloseVsPredictNoStrandedCaller(t *testing.T) {
 
 // TestBatcherQueueFullBackpressure fills the submission queue of a batcher
 // whose flush loop never runs, then checks the next Predict fails fast with
-// errQueueFull instead of blocking.
+// ErrQueueFull instead of blocking.
 func TestBatcherQueueFullBackpressure(t *testing.T) {
 	// Construct without NewBatcher so no flush loop drains the queue.
 	b := &Batcher{max: 4, in: make(chan *batchItem, 2), quit: make(chan struct{}), onBatch: func(int) {}}
@@ -72,13 +73,13 @@ func TestBatcherQueueFullBackpressure(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := b.Predict(&ModelEntry{}, nil)
+		_, err := b.Predict(context.Background(), &ModelEntry{}, nil)
 		done <- err
 	}()
 	select {
 	case err := <-done:
-		if !errors.Is(err, errQueueFull) {
-			t.Fatalf("full queue returned %v, want errQueueFull", err)
+		if !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("full queue returned %v, want ErrQueueFull", err)
 		}
 	case <-time.After(2 * time.Second):
 		t.Fatal("Predict blocked on a full queue instead of failing fast")
@@ -86,14 +87,14 @@ func TestBatcherQueueFullBackpressure(t *testing.T) {
 }
 
 // TestBatcherDeadline submits against a wedged flush loop (none running)
-// and expects errPredictTimeout once the deadline passes, not a hang.
+// and expects ErrPredictTimeout once the deadline passes, not a hang.
 func TestBatcherDeadline(t *testing.T) {
 	b := &Batcher{max: 4, deadline: 20 * time.Millisecond,
 		in: make(chan *batchItem, 4), quit: make(chan struct{}), onBatch: func(int) {}}
 	start := time.Now()
-	_, err := b.Predict(&ModelEntry{}, nil)
-	if !errors.Is(err, errPredictTimeout) {
-		t.Fatalf("wedged batch returned %v, want errPredictTimeout", err)
+	_, err := b.Predict(context.Background(), &ModelEntry{}, nil)
+	if !errors.Is(err, ErrPredictTimeout) {
+		t.Fatalf("wedged batch returned %v, want ErrPredictTimeout", err)
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
 		t.Fatalf("deadline took %v to fire", elapsed)
@@ -101,17 +102,17 @@ func TestBatcherDeadline(t *testing.T) {
 }
 
 // TestBatcherPredictAfterClose checks the closed flag is observed before
-// enqueue: a Predict issued strictly after Close returns errBatcherClosed.
+// enqueue: a Predict issued strictly after Close returns ErrBatcherClosed.
 func TestBatcherPredictAfterClose(t *testing.T) {
 	b := NewBatcher(0, 4, 16, 0, nil)
 	b.Close()
-	if _, err := b.Predict(&ModelEntry{}, nil); !errors.Is(err, errBatcherClosed) {
-		t.Fatalf("post-close Predict returned %v, want errBatcherClosed", err)
+	if _, err := b.Predict(context.Background(), &ModelEntry{}, nil); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("post-close Predict returned %v, want ErrBatcherClosed", err)
 	}
 }
 
 // TestCacheLeaderErrorIsStaleForFollowers: a follower attached to a leader
-// that fails must observe errStaleEntry (so the server re-acquires), while
+// that fails must observe ErrStaleEntry (so the server re-acquires), while
 // the slot is freed for the retry to claim.
 func TestCacheLeaderErrorIsStaleForFollowers(t *testing.T) {
 	c := NewCache(4)
@@ -124,8 +125,8 @@ func TestCacheLeaderErrorIsStaleForFollowers(t *testing.T) {
 		t.Fatal("second acquire stole leadership")
 	}
 	c.Complete(leaderEntry, gnn.Prediction{}, errors.New("inference exploded"))
-	if _, err := follower.Wait(); !errors.Is(err, errStaleEntry) {
-		t.Fatalf("follower saw %v, want errStaleEntry wrapping", err)
+	if _, err := follower.Wait(context.Background()); !errors.Is(err, ErrStaleEntry) {
+		t.Fatalf("follower saw %v, want ErrStaleEntry wrapping", err)
 	}
 	// The failed entry must be gone: the retry becomes a fresh leader.
 	if _, leader := c.Acquire(fp(1)); !leader {

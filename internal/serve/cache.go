@@ -2,20 +2,13 @@ package serve
 
 import (
 	"container/list"
-	"errors"
+	"context"
 	"fmt"
 	"sync"
 
 	"zerotune/internal/gnn"
+	"zerotune/internal/obs"
 )
-
-// errStaleEntry is what followers of a failed leader receive: the leader's
-// entry was deleted on error, so followers that attached before the
-// deletion are waiting on a slot no retry will ever refill. Surfacing the
-// failure as a distinct error lets the server re-acquire once — becoming
-// the new leader or attaching to one — instead of propagating a transient
-// inference failure as if it were a cached result.
-var errStaleEntry = errors.New("serve: stale cache entry (leader failed)")
 
 // Cache is a bounded LRU over plan fingerprints with single-flight
 // semantics: the first request for a fingerprint becomes the leader and
@@ -31,10 +24,35 @@ type Cache struct {
 	m   map[Fingerprint]*cacheEntry
 	ll  *list.List // completed entries, front = most recently used
 
-	hits      uint64 // completed-entry lookups
-	coalesced uint64 // joins on an in-flight leader
-	misses    uint64
-	evictions uint64
+	counters CacheCounters
+}
+
+// CacheCounters are the cache's observable counters. The zero-value-free
+// constructor NewCache uses private unregistered counters; the server
+// injects counters registered on its metrics registry, so cache behavior
+// shows up on /metrics without the cache knowing about the registry.
+type CacheCounters struct {
+	Hits      *obs.Counter // completed-entry lookups
+	Coalesced *obs.Counter // joins on an in-flight leader
+	Misses    *obs.Counter
+	Evictions *obs.Counter
+}
+
+// orDefaults fills missing counters with unregistered ones.
+func (cc CacheCounters) orDefaults() CacheCounters {
+	if cc.Hits == nil {
+		cc.Hits = obs.NewCounter()
+	}
+	if cc.Coalesced == nil {
+		cc.Coalesced = obs.NewCounter()
+	}
+	if cc.Misses == nil {
+		cc.Misses = obs.NewCounter()
+	}
+	if cc.Evictions == nil {
+		cc.Evictions = obs.NewCounter()
+	}
+	return cc
 }
 
 // cacheEntry is one fingerprint's slot. done is closed once pred/err are
@@ -50,10 +68,16 @@ type cacheEntry struct {
 
 // NewCache builds a cache bounded to max completed entries (min 1).
 func NewCache(max int) *Cache {
+	return NewCacheWithCounters(max, CacheCounters{})
+}
+
+// NewCacheWithCounters is NewCache with externally registered counters.
+func NewCacheWithCounters(max int, cc CacheCounters) *Cache {
 	if max < 1 {
 		max = 1
 	}
-	return &Cache{max: max, m: make(map[Fingerprint]*cacheEntry), ll: list.New()}
+	return &Cache{max: max, m: make(map[Fingerprint]*cacheEntry), ll: list.New(),
+		counters: cc.orDefaults()}
 }
 
 // Acquire looks up key. leader=true means the caller owns the computation
@@ -65,16 +89,16 @@ func (c *Cache) Acquire(key Fingerprint) (e *cacheEntry, leader bool) {
 	if e, ok := c.m[key]; ok {
 		select {
 		case <-e.done:
-			c.hits++
+			c.counters.Hits.Inc()
 			if e.elem != nil {
 				c.ll.MoveToFront(e.elem)
 			}
 		default:
-			c.coalesced++
+			c.counters.Coalesced.Inc()
 		}
 		return e, false
 	}
-	c.misses++
+	c.counters.Misses.Inc()
 	e = &cacheEntry{key: key, gen: c.gen, done: make(chan struct{})}
 	c.m[key] = e
 	return e, true
@@ -83,13 +107,13 @@ func (c *Cache) Acquire(key Fingerprint) (e *cacheEntry, leader bool) {
 // Complete publishes the leader's result and inserts the entry into the
 // LRU (unless it errored or the cache was cleared since Acquire), evicting
 // the least recently used entries beyond the bound. A leader error is
-// published to waiting followers wrapped in errStaleEntry (the leader
+// published to waiting followers wrapped in ErrStaleEntry (the leader
 // itself already holds the raw error), so the serving layer can distinguish
 // "retry the acquire" from a result.
 func (c *Cache) Complete(e *cacheEntry, pred gnn.Prediction, err error) {
 	e.pred = pred
 	if err != nil {
-		e.err = fmt.Errorf("%w: %v", errStaleEntry, err)
+		e.err = fmt.Errorf("%w: %v", ErrStaleEntry, err)
 	}
 	close(e.done)
 	c.mu.Lock()
@@ -108,14 +132,20 @@ func (c *Cache) Complete(e *cacheEntry, pred gnn.Prediction, err error) {
 		victim := back.Value.(*cacheEntry)
 		c.ll.Remove(back)
 		delete(c.m, victim.key)
-		c.evictions++
+		c.counters.Evictions.Inc()
 	}
 }
 
-// Wait blocks until the entry is filled and returns its result.
-func (e *cacheEntry) Wait() (gnn.Prediction, error) {
-	<-e.done
-	return e.pred, e.err
+// Wait blocks until the entry is filled — or ctx is cancelled — and
+// returns its result. A follower whose client disconnects stops waiting
+// immediately; the leader's computation is unaffected.
+func (e *cacheEntry) Wait(ctx context.Context) (gnn.Prediction, error) {
+	select {
+	case <-e.done:
+		return e.pred, e.err
+	case <-ctx.Done():
+		return gnn.Prediction{}, ctx.Err()
+	}
 }
 
 // Clear invalidates every entry — called on model swap so predictions from
@@ -143,7 +173,9 @@ type CacheStats struct {
 // Stats snapshots the counters.
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Size: c.ll.Len(), Hits: c.hits, Coalesced: c.coalesced,
-		Misses: c.misses, Evictions: c.evictions}
+	size := c.ll.Len()
+	c.mu.Unlock()
+	return CacheStats{Size: size, Hits: c.counters.Hits.Load(),
+		Coalesced: c.counters.Coalesced.Load(), Misses: c.counters.Misses.Load(),
+		Evictions: c.counters.Evictions.Load()}
 }

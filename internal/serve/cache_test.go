@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -34,7 +35,7 @@ func TestCacheHitMissEviction(t *testing.T) {
 	if leader {
 		t.Fatal("resident key should hit")
 	}
-	if pred, err := e.Wait(); err != nil || pred.LatencyMs != 2 {
+	if pred, err := e.Wait(context.Background()); err != nil || pred.LatencyMs != 2 {
 		t.Fatalf("cached value lost: %v %v", pred, err)
 	}
 	if st := c.Stats(); st.Hits != 1 {
@@ -87,7 +88,7 @@ func TestCacheSingleFlight(t *testing.T) {
 				c.Complete(e, gnn.Prediction{}, nil)
 				return
 			}
-			pred, err := e.Wait()
+			pred, err := e.Wait(context.Background())
 			if err != nil {
 				t.Error(err)
 			}
@@ -96,7 +97,7 @@ func TestCacheSingleFlight(t *testing.T) {
 	}
 	c.Complete(leaderEntry, gnn.Prediction{LatencyMs: 42}, nil)
 	wg.Wait()
-	if pred, _ := first.Wait(); pred.LatencyMs != 42 {
+	if pred, _ := first.Wait(context.Background()); pred.LatencyMs != 42 {
 		t.Fatalf("synchronous follower got %v, want 42", pred.LatencyMs)
 	}
 	for i, v := range results {
@@ -112,8 +113,8 @@ func TestCacheSingleFlight(t *testing.T) {
 func TestCacheErrorNotCached(t *testing.T) {
 	c := NewCache(8)
 	e, _ := c.Acquire(fp(1))
-	c.Complete(e, gnn.Prediction{}, errBatcherClosed)
-	if _, err := e.Wait(); err == nil {
+	c.Complete(e, gnn.Prediction{}, ErrBatcherClosed)
+	if _, err := e.Wait(context.Background()); err == nil {
 		t.Fatal("error lost")
 	}
 	if _, leader := c.Acquire(fp(1)); !leader {
@@ -127,7 +128,7 @@ func TestCacheClearInvalidatesInFlight(t *testing.T) {
 	c.Clear()
 	// The old-generation leader still answers its followers...
 	c.Complete(e, gnn.Prediction{LatencyMs: 1}, nil)
-	if pred, _ := e.Wait(); pred.LatencyMs != 1 {
+	if pred, _ := e.Wait(context.Background()); pred.LatencyMs != 1 {
 		t.Fatal("in-flight result lost on clear")
 	}
 	// ...but the entry must not be resident for the new generation.

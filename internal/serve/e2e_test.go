@@ -6,6 +6,7 @@ package serve_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -20,7 +21,6 @@ import (
 
 	"zerotune/internal/cluster"
 	"zerotune/internal/core"
-	"zerotune/internal/gnn"
 	"zerotune/internal/optimizer"
 	"zerotune/internal/queryplan"
 	"zerotune/internal/serve"
@@ -45,15 +45,15 @@ func models(t *testing.T) (*core.ZeroTune, *core.ZeroTune) {
 			return
 		}
 		opts := core.DefaultTrainOptions()
-		opts.Model = gnn.Config{Hidden: 12, EncDepth: 1, HeadHidden: 12}
-		opts.Train.Epochs = 3
+		opts.Hidden, opts.EncDepth, opts.HeadHidden = 12, 1, 12
+		opts.Epochs = 3
 		opts.Seed = 7
-		if modelA, _, modelErr = core.Train(items, opts); modelErr != nil {
+		if modelA, _, modelErr = core.Train(context.Background(), items, opts); modelErr != nil {
 			return
 		}
 		opts.Seed = 99
-		opts.Train.Epochs = 2
-		modelB, _, modelErr = core.Train(items, opts)
+		opts.Epochs = 2
+		modelB, _, modelErr = core.Train(context.Background(), items, opts)
 	})
 	if modelErr != nil {
 		t.Fatal(modelErr)
@@ -157,7 +157,7 @@ func TestServePredictMatchesDirect(t *testing.T) {
 	if code := postJSON(t, predictURL(ts), &req, &got); code != http.StatusOK {
 		t.Fatalf("predict: status %d", code)
 	}
-	want, err := zt.Predict(testPlan(2, 10_000), testCluster(t))
+	want, err := zt.Predict(context.Background(), testPlan(2, 10_000), testCluster(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestServeTuneMatchesDirect(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/v1/tune", &req, &got); code != http.StatusOK {
 		t.Fatalf("tune: status %d", code)
 	}
-	want, err := zt.Tune(queryplan.SpikeDetection(50_000), testCluster(t), optimizer.DefaultTuneOptions())
+	want, err := zt.Tune(context.Background(), queryplan.SpikeDetection(50_000), testCluster(t), optimizer.DefaultTuneOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +354,7 @@ func TestServeReloadHotSwap(t *testing.T) {
 	// Post-swap predictions come from model B — including the cached path
 	// (the swap must have invalidated model A's cache entries).
 	req := serve.PredictRequest{Plan: testPlan(2, 10_000), Cluster: serve.ClusterSpec{Workers: 4, LinkGbps: 10}}
-	want, err := ztB.Predict(testPlan(2, 10_000), testCluster(t))
+	want, err := ztB.Predict(context.Background(), testPlan(2, 10_000), testCluster(t))
 	if err != nil {
 		t.Fatal(err)
 	}

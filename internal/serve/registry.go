@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"errors"
 	"fmt"
@@ -116,7 +117,7 @@ func probe(zt *core.ZeroTune) (err error) {
 		return err
 	}
 	p := queryplan.NewPQP(queryplan.SpikeDetection(10_000))
-	pred, err := zt.Predict(p, c)
+	pred, err := zt.Predict(context.Background(), p, c)
 	if err != nil {
 		return fmt.Errorf("serve: model probe: %w", err)
 	}

@@ -1,6 +1,7 @@
 package serve_test
 
 import (
+	"context"
 	"path/filepath"
 	"sync"
 	"testing"
@@ -71,7 +72,7 @@ func TestReloadRacesAtomicRewrite(t *testing.T) {
 	if cur == nil || cur.ZT == nil {
 		t.Fatal("registry empty after reload storm")
 	}
-	if _, err := cur.ZT.Predict(testPlan(2, 10_000), testCluster(t)); err != nil {
+	if _, err := cur.ZT.Predict(context.Background(), testPlan(2, 10_000), testCluster(t)); err != nil {
 		t.Fatalf("post-storm prediction failed: %v", err)
 	}
 }

@@ -18,16 +18,25 @@
 // the same inference path). /v1/reload hot-swaps the served model via
 // load-validate-swap on an atomic pointer — in-flight predictions keep the
 // revision they started with. /healthz reports the active model identity
-// and /metrics exports counters and histograms as plain text.
+// and /metrics exports every instrument of the central obs.Registry in the
+// Prometheus text format.
+//
+// Observability is context-first: every handler derives a request context
+// that carries the trace (when a tracer is configured) and the client's
+// cancellation. A disconnected client aborts its queued prediction before
+// it joins a batch; a traced request records http.<endpoint> →
+// encode.plan / cache.lookup / batcher.enqueue → gnn.forward spans,
+// retrievable from /debug/traces when the server runs in debug mode.
 package serve
 
 import (
+	"context"
 	"errors"
-	"fmt"
 	"io"
 	"net/http"
 	"time"
 
+	"zerotune/internal/obs"
 	"zerotune/internal/optimizer"
 )
 
@@ -50,6 +59,18 @@ type Options struct {
 	// flush loop must not hang clients (default 30s; negative disables the
 	// deadline).
 	RequestTimeout time.Duration
+	// Registry receives every serving metric. Nil creates a private one;
+	// pass a shared registry to merge serving metrics with other
+	// subsystems' on one /metrics page.
+	Registry *obs.Registry
+	// Tracer records request traces. Nil disables tracing (spans become
+	// no-ops) unless Debug is set, which creates a default-sized tracer.
+	Tracer *obs.Tracer
+	// Debug exposes the debug surface: GET /debug/traces (the completed
+	// trace ring as JSON) and /debug/pprof/. Off by default — pprof and
+	// traces can leak operational detail, so exposing them is a deliberate
+	// operator choice.
+	Debug bool
 }
 
 // withDefaults fills unset options.
@@ -78,6 +99,7 @@ type Server struct {
 	cache   *Cache
 	batcher *Batcher
 	stats   *Stats
+	tracer  *obs.Tracer
 	mux     *http.ServeMux
 }
 
@@ -85,12 +107,36 @@ type Server struct {
 // Registry().Install or ServeModelFile before serving predictions.
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
+	if opts.Registry == nil {
+		opts.Registry = obs.NewRegistry()
+	}
+	if opts.Tracer == nil && opts.Debug {
+		opts.Tracer = obs.NewTracer(obs.DefaultRingSize)
+	}
+	reg := opts.Registry
 	s := &Server{
-		opts:  opts,
-		reg:   NewRegistry(),
-		cache: NewCache(opts.CacheSize),
-		stats: NewStats(),
-		mux:   http.NewServeMux(),
+		opts:   opts,
+		reg:    NewRegistry(),
+		stats:  NewStats(reg),
+		tracer: opts.Tracer,
+		mux:    http.NewServeMux(),
+	}
+	s.cache = NewCacheWithCounters(opts.CacheSize, CacheCounters{
+		Hits:      reg.Counter("zerotune_cache_hits_total"),
+		Coalesced: reg.Counter("zerotune_cache_coalesced_total"),
+		Misses:    reg.Counter("zerotune_cache_misses_total"),
+		Evictions: reg.Counter("zerotune_cache_evictions_total"),
+	})
+	reg.GaugeFunc("zerotune_cache_size", func() float64 { return float64(s.cache.Stats().Size) })
+	if s.tracer != nil {
+		reg.GaugeFunc("zerotune_traces_completed_total", func() float64 {
+			completed, _ := s.tracer.Stats()
+			return float64(completed)
+		})
+		reg.GaugeFunc("zerotune_traces_dropped_total", func() float64 {
+			_, dropped := s.tracer.Stats()
+			return float64(dropped)
+		})
 	}
 	s.batcher = NewBatcher(opts.BatchWindow, opts.MaxBatch, opts.QueueDepth, opts.RequestTimeout, func(n int) {
 		s.stats.Batches.Add(1)
@@ -102,8 +148,17 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/reload", s.instrument("reload", s.handleReload))
 	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	if opts.Debug {
+		obs.RegisterDebug(s.mux, s.tracer)
+	}
 	return s
 }
+
+// Tracer returns the server's tracer, nil when tracing is disabled.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }
+
+// Metrics returns the metrics registry serving /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.stats.Registry() }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -160,17 +215,29 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with request counting and latency tracking.
+// instrument wraps a handler with request counting, latency tracking, and
+// — when a tracer is configured — a root span per request whose trace ID is
+// reflected back in the X-Trace-Id response header. With tracing disabled
+// the wrapper adds one nil check and nothing else.
 func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.stats.Endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		defer drainBody(r)
+		if s.tracer != nil {
+			ctx, span := obs.StartTrace(r.Context(), s.tracer, "http."+name)
+			w.Header().Set("X-Trace-Id", span.TraceID)
+			r = r.WithContext(ctx)
+			defer func() {
+				span.SetAttr("status", sw.status)
+				span.End()
+			}()
+		}
 		h(sw, r)
-		ep.Requests.Add(1)
+		ep.Requests.Inc()
 		if sw.status >= 400 {
-			ep.Errors.Add(1)
+			ep.Errors.Inc()
 		}
 		ep.Latency.Observe(time.Since(start).Seconds())
 	}
@@ -180,20 +247,21 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 func (s *Server) activeModel(w http.ResponseWriter) *ModelEntry {
 	entry := s.reg.Current()
 	if entry == nil {
-		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("serve: no model installed"))
+		writeError(w, http.StatusServiceUnavailable, ErrNoModel)
 		return nil
 	}
 	return entry
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
 	var req PredictRequest
 	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	if req.Plan == nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: request has no plan"))
+		writeError(w, http.StatusBadRequest, errors.New("serve: request has no plan"))
 		return
 	}
 	c, err := req.Cluster.Build()
@@ -206,16 +274,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Encode once; the graph is both the cache key and the model input.
-	g, err := entry.ZT.EncodePlan(req.Plan, c)
+	g, err := entry.ZT.EncodePlan(ctx, req.Plan, c)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
 	fp := PlanFingerprint(g, entry.ZT.Mask)
 	for attempt := 0; ; attempt++ {
+		lookupCtx, lookup := obs.StartSpan(ctx, "cache.lookup")
 		e, leader := s.cache.Acquire(fp)
+		lookup.SetAttr("leader", leader)
+		lookup.End()
+		_ = lookupCtx
 		if leader {
-			pred, err := s.batcher.Predict(entry, g)
+			pred, err := s.batcher.Predict(ctx, entry, g)
 			s.cache.Complete(e, pred, err)
 			if err != nil {
 				writeError(w, predictStatus(err), err)
@@ -227,15 +299,15 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			})
 			return
 		}
-		pred, err := e.Wait()
+		pred, err := e.Wait(ctx)
 		if err != nil {
 			// The leader this request attached to failed; its entry is gone,
 			// so one re-acquire runs (or joins) a fresh inference instead of
 			// reporting the dead leader's transient error as our own.
-			if errors.Is(err, errStaleEntry) && attempt == 0 {
+			if errors.Is(err, ErrStaleEntry) && attempt == 0 {
 				continue
 			}
-			writeError(w, http.StatusServiceUnavailable, err)
+			writeError(w, predictStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, PredictResponse{
@@ -246,14 +318,19 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// predictStatus maps batcher failures to HTTP: a full queue is backpressure
-// the client should retry later (429), everything else is service
-// unavailability (503).
+// predictStatus maps prediction failures to HTTP: a full queue is
+// backpressure the client should retry later (429), a cancelled request is
+// the client's own doing (499), everything else is service unavailability
+// (503).
 func predictStatus(err error) int {
-	if errors.Is(err, errQueueFull) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
+	case errors.Is(err, context.Canceled):
+		return statusClientClosedRequest
+	default:
+		return http.StatusServiceUnavailable
 	}
-	return http.StatusServiceUnavailable
 }
 
 func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
@@ -263,7 +340,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Query == nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: request has no query"))
+		writeError(w, http.StatusBadRequest, errors.New("serve: request has no query"))
 		return
 	}
 	c, err := req.Cluster.Build()
@@ -285,7 +362,7 @@ func (s *Server) handleTune(w http.ResponseWriter, r *http.Request) {
 	if req.Seed != 0 {
 		opts.Seed = req.Seed
 	}
-	res, err := entry.ZT.Tune(req.Query, c, opts)
+	res, err := entry.ZT.Tune(r.Context(), req.Query, c, opts)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -315,7 +392,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if path == "" {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: reload needs a model path"))
+		writeError(w, http.StatusBadRequest, errors.New("serve: reload needs a model path"))
 		return
 	}
 	old, cur, err := s.reg.Swap(path)
@@ -352,5 +429,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.stats.WriteMetrics(w, s.cache.Stats(), s.reg.Current())
+	s.stats.WriteMetrics(w, s.reg.Current())
 }

@@ -3,109 +3,10 @@ package serve
 import (
 	"fmt"
 	"io"
-	"math"
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"zerotune/internal/metrics"
+	"zerotune/internal/obs"
 )
-
-// Histogram is a concurrency-safe fixed-bucket histogram that additionally
-// keeps a ring of recent observations for quantile summaries (quantiles
-// from buckets alone would be bound-quantized). Bounds are upper bucket
-// edges; observations above the last bound land in the implicit +Inf
-// bucket.
-type Histogram struct {
-	mu     sync.Mutex
-	bounds []float64
-	counts []uint64 // len(bounds)+1, last is +Inf
-	count  uint64
-	sum    float64
-	min    float64
-	max    float64
-	ring []float64
-	pos  int
-}
-
-// NewHistogram builds a histogram over the given ascending upper bounds,
-// remembering the last ringSize observations for quantiles.
-func NewHistogram(bounds []float64, ringSize int) *Histogram {
-	if ringSize < 1 {
-		ringSize = 1024
-	}
-	return &Histogram{
-		bounds: append([]float64(nil), bounds...),
-		counts: make([]uint64, len(bounds)+1),
-		min:    math.Inf(1),
-		max:    math.Inf(-1),
-		ring:   make([]float64, 0, ringSize),
-	}
-}
-
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i]++
-	h.count++
-	h.sum += v
-	h.min = math.Min(h.min, v)
-	h.max = math.Max(h.max, v)
-	if len(h.ring) < cap(h.ring) {
-		h.ring = append(h.ring, v)
-	} else {
-		h.ring[h.pos] = v
-		h.pos = (h.pos + 1) % cap(h.ring)
-	}
-}
-
-// HistogramSnapshot is a point-in-time copy for rendering.
-type HistogramSnapshot struct {
-	Bounds []float64
-	Counts []uint64
-	Count  uint64
-	Sum    float64
-	Min    float64
-	Max    float64
-	// Quantiles over the recent-observation ring; nil when no data yet
-	// (TryQuantile keeps the empty case panic-free).
-	Quantiles map[float64]float64
-}
-
-// quantilePoints are the summary quantiles exported on /metrics.
-var quantilePoints = []float64{0.5, 0.9, 0.99}
-
-// Snapshot copies the histogram state and computes ring quantiles.
-func (h *Histogram) Snapshot() HistogramSnapshot {
-	h.mu.Lock()
-	ring := append([]float64(nil), h.ring...)
-	s := HistogramSnapshot{
-		Bounds: append([]float64(nil), h.bounds...),
-		Counts: append([]uint64(nil), h.counts...),
-		Count:  h.count, Sum: h.sum, Min: h.min, Max: h.max,
-	}
-	h.mu.Unlock()
-	for _, q := range quantilePoints {
-		if v, ok := metrics.TryQuantile(ring, q); ok {
-			if s.Quantiles == nil {
-				s.Quantiles = make(map[float64]float64, len(quantilePoints))
-			}
-			s.Quantiles[q] = v
-		}
-	}
-	return s
-}
-
-// EndpointStats counts requests and errors and tracks latency for one
-// endpoint.
-type EndpointStats struct {
-	Requests atomic.Uint64
-	Errors   atomic.Uint64
-	Latency  *Histogram
-}
 
 // latencyBounds are the request-latency bucket edges in seconds.
 var latencyBounds = []float64{
@@ -119,29 +20,58 @@ var batchBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 // endpointNames fixes the per-endpoint stat keys and render order.
 var endpointNames = []string{"predict", "tune", "reload", "healthz", "metrics"}
 
-// Stats aggregates the server's observability state.
+// EndpointStats counts requests and errors and tracks latency for one
+// endpoint.
+type EndpointStats struct {
+	Requests *obs.Counter
+	Errors   *obs.Counter
+	Latency  *obs.Histogram
+}
+
+// Stats is the server's observability state: every instrument lives on a
+// central obs.Registry (which renders /metrics), and this struct keeps the
+// hot-path handles so request accounting stays lock-free atomic operations.
 type Stats struct {
 	start     time.Time
+	reg       *obs.Registry
 	endpoints map[string]*EndpointStats
 
-	BatchSizes *Histogram
-	Batches    atomic.Uint64 // flushed micro-batches
-	Inferences atomic.Uint64 // graphs pushed through the model
-	Reloads    atomic.Uint64 // successful hot swaps
+	BatchSizes *obs.Histogram
+	Batches    *obs.Counter // flushed micro-batches
+	Inferences *obs.Counter // graphs pushed through the model
+	Reloads    *obs.Counter // successful hot swaps
 }
 
-// NewStats builds the stat registry.
-func NewStats() *Stats {
+// NewStats registers the serving instruments on reg (a private registry
+// when nil). Every series a dashboard might watch exists from startup —
+// zero-valued, not absent.
+func NewStats(reg *obs.Registry) *Stats {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	s := &Stats{
 		start:      time.Now(),
+		reg:        reg,
 		endpoints:  make(map[string]*EndpointStats, len(endpointNames)),
-		BatchSizes: NewHistogram(batchBounds, 1024),
+		BatchSizes: reg.Histogram("zerotune_batch_size", batchBounds, 1024),
+		Batches:    reg.Counter("zerotune_batches_total"),
+		Inferences: reg.Counter("zerotune_inferences_total"),
+		Reloads:    reg.Counter("zerotune_model_reloads_total"),
 	}
 	for _, name := range endpointNames {
-		s.endpoints[name] = &EndpointStats{Latency: NewHistogram(latencyBounds, 1024)}
+		l := obs.L("endpoint", name)
+		s.endpoints[name] = &EndpointStats{
+			Requests: reg.Counter("zerotune_requests_total", l),
+			Errors:   reg.Counter("zerotune_request_errors_total", l),
+			Latency:  reg.Histogram("zerotune_request_duration_seconds", latencyBounds, 1024, l),
+		}
 	}
+	reg.GaugeFunc("zerotune_uptime_seconds", func() float64 { return time.Since(s.start).Seconds() })
 	return s
 }
+
+// Registry exposes the underlying metrics registry.
+func (s *Stats) Registry() *obs.Registry { return s.reg }
 
 // Endpoint returns the named endpoint's stats (must be one of the fixed
 // endpoints).
@@ -159,56 +89,15 @@ type Snapshot struct {
 	Cache      CacheStats
 }
 
-// writeHistogram renders one histogram in the plain-text exposition
-// format.
-func writeHistogram(w io.Writer, name, labels string, s HistogramSnapshot) {
-	sep := ""
-	if labels != "" {
-		sep = ","
-	}
-	cum := uint64(0)
-	for i, b := range s.Bounds {
-		cum += s.Counts[i]
-		fmt.Fprintf(w, "%s_bucket{%s%sle=\"%g\"} %d\n", name, labels, sep, b, cum)
-	}
-	fmt.Fprintf(w, "%s_bucket{%s%sle=\"+Inf\"} %d\n", name, labels, sep, s.Count)
-	if labels == "" {
-		fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, s.Sum, name, s.Count)
-	} else {
-		fmt.Fprintf(w, "%s_sum{%s} %g\n%s_count{%s} %d\n", name, labels, s.Sum, name, labels, s.Count)
-	}
-	for _, q := range quantilePoints {
-		if v, ok := s.Quantiles[q]; ok {
-			fmt.Fprintf(w, "%s{%s%squantile=\"%g\"} %g\n", name, labels, sep, q, v)
-		}
-	}
-}
-
-// WriteMetrics renders every counter and histogram as plain text
-// (Prometheus exposition flavor).
-func (s *Stats) WriteMetrics(w io.Writer, cache CacheStats, model *ModelEntry) {
-	for _, name := range endpointNames {
-		ep := s.endpoints[name]
-		fmt.Fprintf(w, "zerotune_requests_total{endpoint=%q} %d\n", name, ep.Requests.Load())
-		fmt.Fprintf(w, "zerotune_request_errors_total{endpoint=%q} %d\n", name, ep.Errors.Load())
-	}
-	for _, name := range endpointNames {
-		writeHistogram(w, "zerotune_request_duration_seconds",
-			fmt.Sprintf("endpoint=%q", name), s.endpoints[name].Latency.Snapshot())
-	}
-	writeHistogram(w, "zerotune_batch_size", "", s.BatchSizes.Snapshot())
-	fmt.Fprintf(w, "zerotune_batches_total %d\n", s.Batches.Load())
-	fmt.Fprintf(w, "zerotune_inferences_total %d\n", s.Inferences.Load())
-	fmt.Fprintf(w, "zerotune_model_reloads_total %d\n", s.Reloads.Load())
-	fmt.Fprintf(w, "zerotune_cache_size %d\n", cache.Size)
-	fmt.Fprintf(w, "zerotune_cache_hits_total %d\n", cache.Hits)
-	fmt.Fprintf(w, "zerotune_cache_coalesced_total %d\n", cache.Coalesced)
-	fmt.Fprintf(w, "zerotune_cache_misses_total %d\n", cache.Misses)
-	fmt.Fprintf(w, "zerotune_cache_evictions_total %d\n", cache.Evictions)
+// WriteMetrics renders the registry in the Prometheus text format plus the
+// model-identity series of the currently served revision. The identity line
+// is rendered at scrape time from the model registry, so it is correct even
+// when models are installed behind the server's back (tests, warm starts).
+func (s *Stats) WriteMetrics(w io.Writer, model *ModelEntry) {
+	_ = s.reg.WritePrometheus(w)
 	if model != nil {
 		fmt.Fprintf(w, "zerotune_model_info{id=%q,path=%q,gen=\"%d\"} 1\n", model.ID, model.Path, model.Gen)
 	}
-	fmt.Fprintf(w, "zerotune_uptime_seconds %g\n", time.Since(s.start).Seconds())
 }
 
 // Summary renders a compact human-readable digest, logged on graceful

@@ -153,9 +153,17 @@ type ModelInfo struct {
 	UptimeSec int64  `json:"uptime_sec"`
 }
 
+// ErrorBody is the uniform error payload: a stable machine-readable code
+// (see errorCode) plus a human-readable message. Every error on every
+// endpoint uses this one shape — `{"error":{"code":...,"message":...}}`.
+type ErrorBody struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
 // errorResponse is the uniform error envelope.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error ErrorBody `json:"error"`
 }
 
 // decodeJSON reads one JSON value from the request body, rejecting trailing
@@ -180,9 +188,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError writes the error envelope.
+// writeError writes the error envelope, deriving the stable code from the
+// error chain and the status.
 func writeError(w http.ResponseWriter, status int, err error) {
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	writeJSON(w, status, errorResponse{Error: ErrorBody{
+		Code: errorCode(status, err), Message: err.Error(),
+	}})
 }
 
 // degreesByOp renders a plan's parallelism map with string keys (JSON
