@@ -27,14 +27,18 @@ func runServe(args []string) error {
 	drain := fs.Duration("drain-timeout", 10*time.Second, "graceful shutdown deadline")
 	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-predict deadline before 503 (negative: unbounded)")
 	debug := fs.Bool("debug", false, "enable /debug/traces and /debug/pprof endpoints")
+	circuitThreshold := fs.Int("circuit-threshold", 5, "consecutive forward failures that trip the circuit breaker (negative: disabled)")
+	circuitCooldown := fs.Duration("circuit-cooldown", 5*time.Second, "open-circuit wait before probing the learned path again")
 	_ = fs.Parse(args)
 
 	s := serve.New(serve.Options{
-		BatchWindow:    *window,
-		MaxBatch:       *maxBatch,
-		CacheSize:      *cacheSize,
-		RequestTimeout: *reqTimeout,
-		Debug:          *debug,
+		BatchWindow:      *window,
+		MaxBatch:         *maxBatch,
+		CacheSize:        *cacheSize,
+		RequestTimeout:   *reqTimeout,
+		Debug:            *debug,
+		CircuitThreshold: *circuitThreshold,
+		CircuitCooldown:  *circuitCooldown,
 	})
 	entry, err := s.ServeModelFile(*model)
 	if err != nil {

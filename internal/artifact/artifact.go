@@ -32,6 +32,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"zerotune/internal/fault"
 )
 
 // magic identifies an artifact envelope; files not starting with it are
@@ -95,6 +97,9 @@ func Encode(w io.Writer, kind string, payload []byte) error {
 // ErrNotArtifact; a payload that does not match its digest yields an error
 // wrapping ErrChecksum.
 func Decode(r io.Reader) (kind string, payload []byte, err error) {
+	if err := fault.Inject(fault.ArtifactRead); err != nil {
+		return "", nil, fmt.Errorf("artifact: read: %w", err)
+	}
 	var head [len(magic) + 2 + 2]byte
 	if _, err := io.ReadFull(r, head[:]); err != nil {
 		return "", nil, fmt.Errorf("%w (short header: %v)", ErrNotArtifact, err)
@@ -121,8 +126,8 @@ func Decode(r io.Reader) (kind string, payload []byte, err error) {
 	}
 	var want [sha256.Size]byte
 	copy(want[:], rest[kindLen+8:])
-	payload = make([]byte, size)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	payload, err = readExact(r, size)
+	if err != nil {
 		return "", nil, fmt.Errorf("artifact: truncated payload (want %d bytes): %w", size, err)
 	}
 	// The digest covers the header prefix too, so a flipped kind byte or
@@ -137,6 +142,26 @@ func Decode(r io.Reader) (kind string, payload []byte, err error) {
 		return "", nil, fmt.Errorf("%w: stored %x, computed %x", ErrChecksum, want[:8], got[:8])
 	}
 	return kind, payload, nil
+}
+
+// readExact reads exactly size bytes, growing the buffer in bounded chunks so
+// a corrupt header claiming gigabytes fails at EOF after reading only what
+// exists instead of allocating the lie up front.
+func readExact(r io.Reader, size uint64) ([]byte, error) {
+	const chunk = 1 << 20
+	buf := make([]byte, 0, min(size, chunk))
+	for uint64(len(buf)) < size {
+		n := size - uint64(len(buf))
+		if n > chunk {
+			n = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // DecodeBytes is Decode over an in-memory envelope, additionally rejecting

@@ -1,0 +1,56 @@
+package artifact
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// fuzzEnvelope builds a valid envelope for seeding the corpus.
+func fuzzEnvelope(tb testing.TB, kind string, payload []byte) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	if err := Encode(&buf, kind, payload); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzArtifactRead throws arbitrary bytes at the ZTAF envelope parser. The
+// properties: DecodeBytes never panics and never over-allocates on a lying
+// header, and any input it accepts is canonical — re-encoding the decoded
+// kind and payload reproduces the input byte-for-byte.
+func FuzzArtifactRead(f *testing.F) {
+	valid := fuzzEnvelope(f, "zerotune-model", []byte(`{"weights":[1,2,3]}`))
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // truncated payload
+	f.Add(valid[:10])           // truncated header
+	flipped := bytes.Clone(valid)
+	flipped[len(flipped)-1] ^= 0x40 // payload bit rot
+	f.Add(flipped)
+	badVersion := bytes.Clone(valid)
+	badVersion[5] = 99
+	f.Add(badVersion)
+	// Header claiming a multi-gigabyte payload that is not there.
+	huge := bytes.Clone(valid)
+	binary.BigEndian.PutUint64(huge[4+2+2+len("zerotune-model"):], 1<<30)
+	f.Add(huge)
+	f.Add([]byte{})
+	f.Add([]byte("ZTAF"))
+	f.Add([]byte("not an artifact at all"))
+	f.Add(fuzzEnvelope(f, "k", nil)) // minimal kind, empty payload
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kind, payload, err := DecodeBytes(data)
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := Encode(&out, kind, payload); err != nil {
+			t.Fatalf("decoded (%q, %d bytes) but re-encode failed: %v", kind, len(payload), err)
+		}
+		if !bytes.Equal(out.Bytes(), data) {
+			t.Fatalf("accepted non-canonical envelope: %d in vs %d re-encoded bytes", len(data), out.Len())
+		}
+	})
+}

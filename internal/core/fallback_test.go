@@ -1,0 +1,83 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+)
+
+// TestTrainFitsFallback checks Train attaches a valid fallback estimator and
+// that it produces usable numbers for the degradation path.
+func TestTrainFitsFallback(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 5)
+	if zt.Fallback == nil {
+		t.Fatal("Train returned a model without a fallback estimator")
+	}
+	if err := zt.Fallback.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := cluster.New(2, cluster.SeenTypes(), 10)
+	p := queryplan.NewPQP(queryplan.SpikeDetection(5000))
+	lat, tpt := zt.Fallback.Predict(p, c)
+	if math.IsNaN(lat) || math.IsInf(lat, 0) || lat < 0 || math.IsNaN(tpt) || math.IsInf(tpt, 0) || tpt < 0 {
+		t.Fatalf("fallback prediction lat=%v tpt=%v", lat, tpt)
+	}
+}
+
+// TestFallbackSurvivesSaveLoad proves the fallback rides the model artifact:
+// identical weights and predictions after a save/load roundtrip.
+func TestFallbackSurvivesSaveLoad(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 5)
+	var buf bytes.Buffer
+	if err := zt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fallback == nil {
+		t.Fatal("fallback lost across save/load")
+	}
+	c, _ := cluster.New(4, cluster.SeenTypes(), 10)
+	p := queryplan.NewPQP(queryplan.SpikeDetection(80_000))
+	lat0, tpt0 := zt.Fallback.Predict(p, c)
+	lat1, tpt1 := loaded.Fallback.Predict(p, c)
+	if lat0 != lat1 || tpt0 != tpt1 {
+		t.Fatalf("fallback predicts differently after roundtrip: (%v,%v) vs (%v,%v)", lat0, tpt0, lat1, tpt1)
+	}
+}
+
+// TestLoadAcceptsModelWithoutFallback keeps backwards compatibility with
+// artifacts saved before fallbacks existed.
+func TestLoadAcceptsModelWithoutFallback(t *testing.T) {
+	zt, _ := smallTrained(t, 60, 5)
+	zt.Fallback = nil
+	var buf bytes.Buffer
+	if err := zt.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Fallback != nil {
+		t.Fatal("fallback materialized from nowhere")
+	}
+	if _, err := loaded.Predict(context.Background(), queryplan.NewPQP(queryplan.SpikeDetection(5000)), mustCluster(t)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(2, cluster.SeenTypes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}

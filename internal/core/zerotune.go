@@ -15,6 +15,7 @@ import (
 	"zerotune/internal/artifact"
 	"zerotune/internal/cluster"
 	"zerotune/internal/features"
+	"zerotune/internal/flatvec"
 	"zerotune/internal/gnn"
 	"zerotune/internal/metrics"
 	"zerotune/internal/obs"
@@ -31,6 +32,11 @@ type ZeroTune struct {
 	// Mask is the feature visibility the model was trained with; prediction
 	// uses the same mask.
 	Mask features.Mask
+	// Fallback is the cheap flat-vector estimator trained alongside the GNN
+	// and persisted in the same artifact. The serving layer degrades to it
+	// when the learned forward path is unavailable. Nil on models saved
+	// before fallbacks existed.
+	Fallback *flatvec.Fallback
 }
 
 // Train fits a fresh ZeroTune model on labelled workload items. The
@@ -62,7 +68,32 @@ func Train(ctx context.Context, items []*workload.Item, opts *TrainOptions) (*Ze
 	if err != nil {
 		return nil, gnn.TrainStats{}, err
 	}
-	return &ZeroTune{Model: model, Mask: opts.Mask}, stats, nil
+	// The degradation fallback trains on the same corpus. Its fit is
+	// closed-form, so it adds no nondeterminism to the saved artifact.
+	fb, err := FitFallback(items)
+	if err != nil {
+		return nil, gnn.TrainStats{}, err
+	}
+	return &ZeroTune{Model: model, Mask: opts.Mask, Fallback: fb}, stats, nil
+}
+
+// FitFallback fits the flat-vector ridge-regression fallback estimator on
+// labelled items, using the same log-space targets the GNN trains against.
+// Train calls it automatically; it is exported so a fallback can be
+// (re)fitted for models trained before fallbacks existed.
+func FitFallback(items []*workload.Item) (*flatvec.Fallback, error) {
+	if len(items) == 0 {
+		return nil, fmt.Errorf("core: no items to fit fallback on")
+	}
+	X := make([]tensor.Vector, len(items))
+	yLat := make([]float64, len(items))
+	yTpt := make([]float64, len(items))
+	for i, it := range items {
+		X[i] = flatvec.FromPlan(it.Plan, it.Cluster)
+		yLat[i] = gnn.LogTarget(it.LatencyMs)
+		yTpt[i] = gnn.LogTarget(it.ThroughputEPS)
+	}
+	return flatvec.FitFallback(X, yLat, yTpt, 1e-3)
 }
 
 // FineTune continues training on additional items (few-shot learning,
@@ -225,8 +256,9 @@ func (z *ZeroTune) QErrors(items []*workload.Item) (latQ, tptQ []float64, err er
 // persisted is the model payload inside the artifact envelope (and the
 // whole file in the legacy bare-JSON format).
 type persisted struct {
-	Mask  features.Mask `json:"mask"`
-	Model *gnn.Model    `json:"model"`
+	Mask     features.Mask     `json:"mask"`
+	Model    *gnn.Model        `json:"model"`
+	Fallback *flatvec.Fallback `json:"fallback,omitempty"`
 }
 
 // ModelArtifactKind tags model payloads inside the artifact envelope.
@@ -236,7 +268,7 @@ const ModelArtifactKind = "zerotune-model"
 // envelope. Writing to a file should go through SaveFile instead, which
 // additionally makes the write atomic and durable.
 func (z *ZeroTune) Save(w io.Writer) error {
-	payload, err := json.Marshal(persisted{Mask: z.Mask, Model: z.Model})
+	payload, err := json.Marshal(persisted{Mask: z.Mask, Model: z.Model, Fallback: z.Fallback})
 	if err != nil {
 		return fmt.Errorf("core: save model: %w", err)
 	}
@@ -248,7 +280,7 @@ func (z *ZeroTune) Save(w io.Writer) error {
 // intact, and a concurrent reader — including the serve registry's hot
 // reload — never observes a torn file.
 func (z *ZeroTune) SaveFile(path string) error {
-	payload, err := json.Marshal(persisted{Mask: z.Mask, Model: z.Model})
+	payload, err := json.Marshal(persisted{Mask: z.Mask, Model: z.Model, Fallback: z.Fallback})
 	if err != nil {
 		return fmt.Errorf("core: save model: %w", err)
 	}
@@ -308,7 +340,12 @@ func loadBytes(data []byte) (*ZeroTune, bool, error) {
 	if err := p.Model.Validate(); err != nil {
 		return nil, legacy, fmt.Errorf("core: load model: %w", err)
 	}
-	return &ZeroTune{Model: p.Model, Mask: p.Mask}, legacy, nil
+	if p.Fallback != nil {
+		if err := p.Fallback.Validate(); err != nil {
+			return nil, legacy, fmt.Errorf("core: load model: %w", err)
+		}
+	}
+	return &ZeroTune{Model: p.Model, Mask: p.Mask, Fallback: p.Fallback}, legacy, nil
 }
 
 // MetricModel predicts one additional cost metric (e.g. resource usage) on

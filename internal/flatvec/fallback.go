@@ -1,0 +1,86 @@
+package flatvec
+
+import (
+	"fmt"
+	"math"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+// FallbackKindLinReg names the ridge-regression fallback estimator in the
+// serialized artifact and in degraded predict responses.
+const FallbackKindLinReg = "linreg"
+
+// Fallback is the cheap, always-available estimator a server degrades to
+// when the learned GNN path is unavailable (circuit open, forward-pass
+// failure). It is the paper's flat-vector linear-regression baseline, fitted
+// on the same labelled items as the GNN and persisted inside the same model
+// artifact, mirroring how heuristic tuners backstop learned ones in
+// self-regulating stream processors.
+type Fallback struct {
+	Kind string            `json:"kind"`
+	Lat  *LinearRegression `json:"lat"` // predicts log-space latency
+	Tpt  *LinearRegression `json:"tpt"` // predicts log-space throughput
+}
+
+// FitFallback fits the two ridge regressions over flat vectors X and their
+// log-space latency/throughput targets. The fit is closed-form and
+// deterministic, so a model artifact containing it stays byte-identical
+// across retrainings from the same corpus.
+func FitFallback(X []tensor.Vector, yLat, yTpt []float64, ridge float64) (*Fallback, error) {
+	lat := NewLinearRegression(ridge)
+	if err := lat.Fit(X, yLat); err != nil {
+		return nil, fmt.Errorf("flatvec: fit fallback latency: %w", err)
+	}
+	tpt := NewLinearRegression(ridge)
+	if err := tpt.Fit(X, yTpt); err != nil {
+		return nil, fmt.Errorf("flatvec: fit fallback throughput: %w", err)
+	}
+	return &Fallback{Kind: FallbackKindLinReg, Lat: lat, Tpt: tpt}, nil
+}
+
+// Validate checks a deserialized fallback is structurally usable: both heads
+// present, fitted at the current feature width, and finite.
+func (f *Fallback) Validate() error {
+	if f.Kind != FallbackKindLinReg {
+		return fmt.Errorf("flatvec: unknown fallback kind %q", f.Kind)
+	}
+	for name, lr := range map[string]*LinearRegression{"lat": f.Lat, "tpt": f.Tpt} {
+		if lr == nil {
+			return fmt.Errorf("flatvec: fallback %s head missing", name)
+		}
+		if len(lr.Weights) != Dim+1 {
+			return fmt.Errorf("flatvec: fallback %s head has %d weights, want %d", name, len(lr.Weights), Dim+1)
+		}
+		for i, w := range lr.Weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				return fmt.Errorf("flatvec: fallback %s weight %d is %v", name, i, w)
+			}
+		}
+	}
+	return nil
+}
+
+// Predict estimates (latency ms, throughput events/s) for a plan on a
+// cluster by featurizing it and un-logging the two regression outputs.
+func (f *Fallback) Predict(p *queryplan.PQP, c *cluster.Cluster) (latMs, tptEPS float64) {
+	x := FromPlan(p, c)
+	return unlog(f.Lat.Predict(x)), unlog(f.Tpt.Predict(x))
+}
+
+// unlog inverts the training transform log10(x + 1e-3), clamped to a finite
+// non-negative range so a wild extrapolation can never surface NaN/Inf to a
+// client.
+func unlog(y float64) float64 {
+	v := math.Pow(10, y) - 1e-3
+	if math.IsNaN(v) || v < 0 {
+		return 0
+	}
+	const ceil = 1e12
+	if v > ceil {
+		return ceil
+	}
+	return v
+}

@@ -1,0 +1,107 @@
+package flatvec
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+// fitTinyFallback builds a fallback over a synthetic linear relation so the
+// fit is exact up to ridge shrinkage.
+func fitTinyFallback(t *testing.T) *Fallback {
+	t.Helper()
+	const n = 200
+	X := make([]tensor.Vector, n)
+	yLat := make([]float64, n)
+	yTpt := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := tensor.NewVector(Dim)
+		for j := range x {
+			// Deterministic pseudo-features spanning a few scales.
+			x[j] = float64((i*31+j*17)%13) / 3
+		}
+		X[i] = x
+		yLat[i] = 0.5*x[0] - 0.2*x[5] + 1
+		yTpt[i] = 0.3*x[1] + 0.1*x[7] + 2
+	}
+	fb, err := FitFallback(X, yLat, yTpt, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fb
+}
+
+func TestFallbackFitValidateRoundtrip(t *testing.T) {
+	fb := fitTinyFallback(t)
+	if err := fb.Validate(); err != nil {
+		t.Fatalf("fitted fallback invalid: %v", err)
+	}
+	data, err := json.Marshal(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Fallback
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("roundtripped fallback invalid: %v", err)
+	}
+	for i, w := range fb.Lat.Weights {
+		if back.Lat.Weights[i] != w {
+			t.Fatalf("weight %d changed across JSON roundtrip", i)
+		}
+	}
+}
+
+func TestFallbackValidateRejectsCorrupt(t *testing.T) {
+	fb := fitTinyFallback(t)
+	cases := map[string]func(*Fallback){
+		"kind":    func(f *Fallback) { f.Kind = "mystery" },
+		"nil lat": func(f *Fallback) { f.Lat = nil },
+		"width":   func(f *Fallback) { f.Tpt.Weights = f.Tpt.Weights[:3] },
+		"nan":     func(f *Fallback) { f.Lat.Weights[0] = math.NaN() },
+	}
+	for name, corrupt := range cases {
+		data, _ := json.Marshal(fb)
+		var c Fallback
+		_ = json.Unmarshal(data, &c)
+		corrupt(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s corruption passed Validate", name)
+		}
+	}
+}
+
+// TestFallbackPredictFinite runs the end-to-end plan path and requires
+// finite, non-negative outputs — the guarantee degraded serving relies on.
+func TestFallbackPredictFinite(t *testing.T) {
+	fb := fitTinyFallback(t)
+	c, err := cluster.New(4, cluster.SeenTypes(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := queryplan.NewPQP(queryplan.SpikeDetection(50_000))
+	lat, tpt := fb.Predict(p, c)
+	for name, v := range map[string]float64{"latency": lat, "throughput": tpt} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			t.Fatalf("fallback %s = %v, want finite non-negative", name, v)
+		}
+	}
+}
+
+func TestUnlogClamps(t *testing.T) {
+	if v := unlog(-50); v != 0 {
+		t.Fatalf("unlog(-50) = %v, want 0", v)
+	}
+	if v := unlog(400); v != 1e12 {
+		t.Fatalf("unlog(400) = %v, want clamped ceiling", v)
+	}
+	if v := unlog(math.Log10(123 + 1e-3)); math.Abs(v-123) > 1e-6 {
+		t.Fatalf("unlog inverse broken: %v", v)
+	}
+}

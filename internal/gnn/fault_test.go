@@ -1,0 +1,65 @@
+package gnn
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"zerotune/internal/fault"
+)
+
+// TestCheckpointWriteFaultFailsTraining verifies the checkpoint.write
+// injection point: an injected failure at the checkpoint boundary surfaces
+// as the same descriptive error a real write failure would, without hanging
+// or corrupting the run.
+func TestCheckpointWriteFaultFailsTraining(t *testing.T) {
+	reg := fault.New(5)
+	reg.Install(fault.Schedule{Point: fault.CheckpointWrite, Mode: fault.ModeError, Every: 1})
+	fault.Activate(reg)
+	t.Cleanup(fault.Deactivate)
+
+	graphs := trainSet(t, 12)
+	model := smallModel(3)
+	cfg := resumeCfg(4)
+	wrote := 0
+	cfg.Checkpoint = func(*Checkpoint) error { wrote++; return nil }
+	_, err := Train(context.Background(), model, graphs, cfg)
+	if err == nil {
+		t.Fatal("training succeeded despite checkpoint.write faults")
+	}
+	if !fault.IsInjected(err) {
+		t.Fatalf("error lost the injected marker: %v", err)
+	}
+	if !strings.Contains(err.Error(), "checkpoint after epoch") {
+		t.Fatalf("error lacks checkpoint context: %v", err)
+	}
+	if wrote != 0 {
+		t.Fatalf("checkpoint sink ran %d times despite injected failure before it", wrote)
+	}
+	if got := reg.Injected(fault.CheckpointWrite); got != 1 {
+		t.Fatalf("training continued past the first failed checkpoint (%d faults fired)", got)
+	}
+}
+
+// TestCheckpointWriteFaultLimited: a single transient checkpoint failure
+// fails that run, but the registry's counters make the schedule inspectable
+// — and with After set, early epochs checkpoint cleanly first.
+func TestCheckpointWriteFaultAfterGrace(t *testing.T) {
+	reg := fault.New(5)
+	reg.Install(fault.Schedule{Point: fault.CheckpointWrite, Mode: fault.ModeError, Every: 1, After: 2})
+	fault.Activate(reg)
+	t.Cleanup(fault.Deactivate)
+
+	graphs := trainSet(t, 12)
+	model := smallModel(3)
+	cfg := resumeCfg(6)
+	wrote := 0
+	cfg.Checkpoint = func(*Checkpoint) error { wrote++; return nil }
+	_, err := Train(context.Background(), model, graphs, cfg)
+	if err == nil {
+		t.Fatal("training survived the post-grace checkpoint fault")
+	}
+	if wrote != 2 {
+		t.Fatalf("%d checkpoints persisted before the fault, want 2 (grace period)", wrote)
+	}
+}

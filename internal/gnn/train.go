@@ -6,6 +6,7 @@ import (
 	"math"
 	"time"
 
+	"zerotune/internal/fault"
 	"zerotune/internal/features"
 	"zerotune/internal/nn"
 	"zerotune/internal/obs"
@@ -336,7 +337,10 @@ func Train(ctx context.Context, m *Model, graphs []*features.Graph, cfg TrainCon
 			if (epoch+1)%ckptEvery == 0 || epoch == cfg.Epochs-1 || interrupted {
 				ckptStart := time.Now()
 				ck := captureCheckpoint(epoch+1, params, opt, rng, idx, bestVal, bestSnap, sinceBest)
-				err := cfg.Checkpoint(ck)
+				err := fault.Inject(fault.CheckpointWrite)
+				if err == nil {
+					err = cfg.Checkpoint(ck)
+				}
 				epochSpan.SetAttr("checkpoint_ms", float64(time.Since(ckptStart))/float64(time.Millisecond))
 				if err != nil {
 					epochSpan.End()

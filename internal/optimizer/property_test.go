@@ -1,0 +1,166 @@
+package optimizer
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/workload"
+)
+
+// synthEstimate is a deterministic closed-form cost surface over degree
+// vectors: latency is U-shaped in parallelism (coordination overhead past
+// the sweet spot), throughput grows with diminishing returns. A pure
+// function of the plan, so property sweeps never depend on simulator or
+// model state.
+func synthEstimate(p *queryplan.PQP) Estimate {
+	lat, tpt := 1.0, 0.0
+	for _, o := range p.Query.Ops {
+		d := float64(p.Degree(o.ID))
+		lat += 10/d + 0.7*d
+		tpt += 1000 * math.Sqrt(d)
+	}
+	return Estimate{LatencyMs: lat, ThroughputEPS: tpt}
+}
+
+func synthEstimator(_ context.Context, p *queryplan.PQP, _ *cluster.Cluster) (Estimate, error) {
+	return synthEstimate(p), nil
+}
+
+// TestTuneNeverViolatesBoundsProperty sweeps Tune across a seeded table of
+// generated queries (every seen structure, several samples each) and asserts
+// the structural invariants that must hold for ANY input: every recommended
+// degree stays within [1, cluster cores], the Eq. 1 cost lands in [0, 1],
+// and the winning estimate is finite.
+func TestTuneNeverViolatesBoundsProperty(t *testing.T) {
+	gen := workload.NewSeenGenerator(7)
+	for _, structure := range workload.SeenRanges().Structures {
+		for seq := uint64(0); seq < 4; seq++ {
+			q, c, err := gen.SampleQuery(structure, seq)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", structure, seq, err)
+			}
+			opts := TuneOptions{Weight: float64(seq) / 3, RandomCandidates: 8, Seed: seq + 1}
+			res, err := Tune(context.Background(), q, c, EstimatorFunc(synthEstimator), opts)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", structure, seq, err)
+			}
+			for _, o := range q.Ops {
+				d := res.Plan.Degree(o.ID)
+				if d < 1 || d > c.TotalCores() {
+					t.Fatalf("%s/%d: operator %d degree %d outside [1, %d]",
+						structure, seq, o.ID, d, c.TotalCores())
+				}
+			}
+			if res.Cost < 0 || res.Cost > 1 || math.IsNaN(res.Cost) {
+				t.Fatalf("%s/%d: weighted cost %v outside [0,1]", structure, seq, res.Cost)
+			}
+			for name, v := range map[string]float64{
+				"latency": res.Estimate.LatencyMs, "throughput": res.Estimate.ThroughputEPS} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s/%d: %s estimate %v", structure, seq, name, v)
+				}
+			}
+		}
+	}
+}
+
+// TestTuneBudgetMonotoneProperty: growing the random-candidate budget with a
+// fixed seed only ever ADDS candidates (the RNG draw sequence is a prefix of
+// the larger sweep), so at the weight extremes the winner can only improve —
+// best latency non-increasing at wt=1, best throughput non-decreasing at
+// wt=0. (At interior weights Eq. 1's min-max normalization is candidate-set-
+// relative, so no such ordering is promised.)
+func TestTuneBudgetMonotoneProperty(t *testing.T) {
+	q := linear(120_000)
+	c := testCluster(t)
+	budgets := []int{0, 4, 8, 16, 32}
+
+	prevLat := math.Inf(1)
+	prevCount := 0
+	for _, budget := range budgets {
+		res, err := Tune(context.Background(), q, c, EstimatorFunc(synthEstimator),
+			TuneOptions{Weight: 1, RandomCandidates: budget, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Candidates < prevCount {
+			t.Fatalf("budget %d enumerated %d candidates, fewer than the smaller sweep's %d",
+				budget, res.Candidates, prevCount)
+		}
+		prevCount = res.Candidates
+		if res.Estimate.LatencyMs > prevLat {
+			t.Fatalf("wt=1: best latency worsened %.4f -> %.4f when budget grew to %d",
+				prevLat, res.Estimate.LatencyMs, budget)
+		}
+		prevLat = res.Estimate.LatencyMs
+	}
+
+	prevTpt := math.Inf(-1)
+	for _, budget := range budgets {
+		res, err := Tune(context.Background(), q, c, EstimatorFunc(synthEstimator),
+			TuneOptions{Weight: 0, RandomCandidates: budget, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Estimate.ThroughputEPS < prevTpt {
+			t.Fatalf("wt=0: best throughput worsened %.1f -> %.1f when budget grew to %d",
+				prevTpt, res.Estimate.ThroughputEPS, budget)
+		}
+		prevTpt = res.Estimate.ThroughputEPS
+	}
+}
+
+// TestBaselinesAgreeOnHealthyPlansProperty: on a topology whose runtime
+// reports every operator healthy (utilization strictly between the scale-
+// down and scale-up thresholds) and whose throughput is insensitive to
+// re-configuration, both online baselines must refuse to act: Dhalion
+// converges in zero reconfigurations and Greedy performs no splits, so the
+// two agree on the all-1 degree vector and on the (identical) estimate.
+func TestBaselinesAgreeOnHealthyPlansProperty(t *testing.T) {
+	gen := workload.NewSeenGenerator(11)
+	healthy := Estimate{LatencyMs: 42, ThroughputEPS: 9_000}
+	observe := func(p *queryplan.PQP, c *cluster.Cluster) (Estimate, error) {
+		return healthy, nil
+	}
+	runtimeObserve := func(p *queryplan.PQP, c *cluster.Cluster) (Estimate, map[int]Diagnosis, error) {
+		diag := make(map[int]Diagnosis, len(p.Query.Ops))
+		for _, o := range p.Query.Ops {
+			diag[o.ID] = Diagnosis{Utilization: 0.5}
+		}
+		return healthy, diag, nil
+	}
+
+	for seq := uint64(0); seq < 5; seq++ {
+		q, c, err := gen.SampleQuery("linear", seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := Greedy(q, c, observe, 20, 0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := Dhalion(q, c, runtimeObserve, DefaultDhalionOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Rounds != 0 {
+			t.Fatalf("seq %d: dhalion reconfigured a healthy topology %d times", seq, d.Rounds)
+		}
+		gv, dv := g.Plan.DegreesVector(), d.Plan.DegreesVector()
+		if len(gv) != len(dv) {
+			t.Fatalf("seq %d: degree vectors differ in length: %v vs %v", seq, gv, dv)
+		}
+		for i := range gv {
+			if gv[i] != dv[i] || gv[i] != 1 {
+				t.Fatalf("seq %d: baselines disagree or scaled a healthy plan: greedy %v, dhalion %v",
+					seq, gv, dv)
+			}
+		}
+		if g.Estimate != d.Estimate {
+			t.Fatalf("seq %d: estimates diverged on the same plan: %+v vs %+v", seq, g.Estimate, d.Estimate)
+		}
+	}
+}

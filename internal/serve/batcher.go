@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"zerotune/internal/fault"
 	"zerotune/internal/features"
 	"zerotune/internal/gnn"
 	"zerotune/internal/obs"
@@ -39,6 +40,12 @@ type Batcher struct {
 	wg       sync.WaitGroup
 	onBatch  func(graphs int) // stats hook, called once per flushed batch
 
+	// forward runs the batched forward pass for one model group. The server
+	// installs a wrapper that threads the gnn.forward injection point (and is
+	// where the circuit breaker observes failures); nil falls back to calling
+	// the model directly.
+	forward func(entry *ModelEntry, graphs []*features.Graph) ([]gnn.Prediction, error)
+
 	// mu guards closed. Predict checks closed under the read lock before
 	// enqueueing and Close sets it under the write lock before draining, so
 	// no item can enter the queue after the post-shutdown drain has run —
@@ -67,6 +74,17 @@ func NewBatcher(window time.Duration, max, queue int, deadline time.Duration, on
 	b.wg.Add(1)
 	go b.loop()
 	return b
+}
+
+// SetForward replaces the forward-pass function. Call before the first
+// Predict; the flush loop reads it without synchronization.
+func (b *Batcher) SetForward(f func(*ModelEntry, []*features.Graph) ([]gnn.Prediction, error)) {
+	b.forward = f
+}
+
+// defaultForward is the plain forward pass used when no override is set.
+func defaultForward(entry *ModelEntry, graphs []*features.Graph) ([]gnn.Prediction, error) {
+	return entry.ZT.PredictEncoded(graphs), nil
 }
 
 // Predict submits one encoded graph bound to a model revision and blocks
@@ -196,6 +214,26 @@ func (b *Batcher) run(batch []*batchItem) {
 	if len(live) == 0 {
 		return
 	}
+	// A panic escaping the flush (batcher.flush panic mode, or a bug in the
+	// grouping below) must fail the live items instead of killing the flush
+	// loop and stranding every future request.
+	defer func() {
+		if r := recover(); r != nil {
+			for _, it := range live {
+				if it.err == nil && !closed(it.done) {
+					it.err = fmt.Errorf("serve: batch flush panic: %v", r)
+					close(it.done)
+				}
+			}
+		}
+	}()
+	if err := fault.Inject(fault.BatcherFlush); err != nil {
+		for _, it := range live {
+			it.err = err
+			close(it.done)
+		}
+		return
+	}
 	b.onBatch(len(live))
 	groups := make(map[*ModelEntry][]*batchItem, 1)
 	for _, it := range live {
@@ -239,10 +277,21 @@ func (b *Batcher) runGroup(entry *ModelEntry, items []*batchItem) {
 	for i, it := range items {
 		graphs[i] = it.g
 	}
-	preds := entry.ZT.PredictEncoded(graphs)
+	fwd := b.forward
+	if fwd == nil {
+		fwd = defaultForward
+	}
+	preds, ferr := fwd(entry, graphs)
 	// Spans end before done closes: a span that outlived its request's
 	// root span would be dropped as an orphan.
 	endSpans()
+	if ferr != nil {
+		for _, it := range items {
+			it.err = ferr
+			close(it.done)
+		}
+		return
+	}
 	for i, it := range items {
 		it.pred = preds[i]
 		close(it.done)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"testing"
+	"time"
 
 	"zerotune/internal/gnn"
 )
@@ -78,6 +79,9 @@ func TestCacheSingleFlight(t *testing.T) {
 	const followers = 8
 	var wg sync.WaitGroup
 	results := make([]float64, followers)
+	// Bounded wait: a lost completion must fail the test, not hang it.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
 	for i := 0; i < followers; i++ {
 		wg.Add(1)
 		go func(i int) {
@@ -88,7 +92,7 @@ func TestCacheSingleFlight(t *testing.T) {
 				c.Complete(e, gnn.Prediction{}, nil)
 				return
 			}
-			pred, err := e.Wait(context.Background())
+			pred, err := e.Wait(ctx)
 			if err != nil {
 				t.Error(err)
 			}

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"zerotune/internal/artifact"
+	"zerotune/internal/fault"
 )
 
 // Sentinel errors of the serving layer. Callers branch on them with
@@ -32,6 +33,11 @@ var (
 	ErrStaleEntry = errors.New("serve: stale cache entry (leader failed)")
 	// ErrNoModel is returned while the registry has no installed model.
 	ErrNoModel = errors.New("serve: no model installed")
+	// ErrCircuitOpen is the cause attached to requests rejected by an open
+	// circuit breaker. Clients only see it (as a 503 with code
+	// "circuit_open") when the served model has no fallback estimator;
+	// otherwise the request is answered degraded.
+	ErrCircuitOpen = errors.New("serve: circuit open (learned path unavailable)")
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client went
@@ -54,6 +60,10 @@ func errorCode(status int, err error) string {
 		return "stale_entry"
 	case errors.Is(err, ErrNoModel):
 		return "no_model"
+	case errors.Is(err, ErrCircuitOpen):
+		return "circuit_open"
+	case fault.IsInjected(err):
+		return "fault_injected"
 	case errors.Is(err, artifact.ErrChecksum):
 		return "checksum_mismatch"
 	}
@@ -70,5 +80,16 @@ func errorCode(status int, err error) string {
 		return "canceled"
 	default:
 		return "internal"
+	}
+}
+
+// KnownErrorCodes lists every code errorCode can emit. Harnesses (the chaos
+// driver) use it to assert that no error response ever carries an unmapped
+// code.
+func KnownErrorCodes() []string {
+	return []string{
+		"queue_full", "timeout", "canceled", "shutting_down", "stale_entry",
+		"no_model", "circuit_open", "fault_injected", "checksum_mismatch",
+		"bad_request", "invalid_model", "unavailable", "internal",
 	}
 }

@@ -1,0 +1,55 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"zerotune/internal/queryplan"
+)
+
+// FuzzDecodePredictRequest throws arbitrary bytes at the predict wire
+// decoder — the exact path an untrusted HTTP body takes. Properties: no
+// panic, and whatever decodes must survive the same validation the handler
+// performs (cluster materialization, plan presence check) without panicking
+// either.
+func FuzzDecodePredictRequest(f *testing.F) {
+	valid, err := json.Marshal(PredictRequest{
+		Plan:    queryplan.NewPQP(queryplan.SpikeDetection(10_000)),
+		Cluster: ClusterSpec{Workers: 4, LinkGbps: 10},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"plan":null,"cluster":{"workers":2}}`))
+	f.Add([]byte(`{"plan":{"query":null}}`))
+	f.Add([]byte(`{"plan":{"query":{"ops":[{"id":-1,"type":9999}]}},"cluster":{"nodes":[{"name":""}]}}`))
+	f.Add([]byte(`{"cluster":{"workers":-3,"node_types":["no-such-type"],"link_gbps":-1}}`))
+	f.Add([]byte(`{"plan":1e308}`))
+	f.Add(append(bytes.Clone(valid), []byte(` trailing`)...)) // trailing garbage
+	f.Add(valid[:len(valid)/2])                               // truncated JSON
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		r := httptest.NewRequest("POST", "/v1/predict", bytes.NewReader(body))
+		w := httptest.NewRecorder()
+		var req PredictRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			// The handler would answer 400; the envelope code must be mapped.
+			if code := errorCode(400, err); code == "" {
+				t.Fatalf("decode error without a stable code: %v", err)
+			}
+			return
+		}
+		// Mirror handlePredict's validation steps on the decoded value.
+		_, _ = req.Cluster.Build()
+		if req.Plan != nil && req.Plan.Query != nil {
+			for _, o := range req.Plan.Query.Ops {
+				_ = req.Plan.Degree(o.ID)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"math/rand"
 	"os"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"zerotune/internal/artifact"
 	"zerotune/internal/cluster"
 	"zerotune/internal/core"
+	"zerotune/internal/fault"
 	"zerotune/internal/queryplan"
 )
 
@@ -59,20 +61,51 @@ func (r *Registry) Install(zt *core.ZeroTune, id, path string) *ModelEntry {
 	return e
 }
 
+// reloadAttempts bounds how many times a transient reload failure is retried
+// before the error surfaces to the caller; retries are spaced by a short
+// jittered exponential backoff so a burst of reloads against a file being
+// replaced does not hammer the filesystem in lockstep.
+const reloadAttempts = 3
+
 // LoadFile reads, validates and probe-evaluates a model file without
-// swapping it in. A checksum mismatch is retried once with a fresh read:
-// with the atomic artifact writer it indicates the file was replaced
-// between open and read (or a non-atomic writer was mid-flight), and the
-// second read observes the settled file.
+// swapping it in. Transient failures — a checksum mismatch (the file was
+// replaced between open and read, or a non-atomic writer was mid-flight) or
+// an injected fault — are retried with jittered backoff; structural errors
+// (bad JSON, failed probe) surface immediately.
 func (r *Registry) LoadFile(path string) (*ModelEntry, error) {
-	e, err := r.loadFileOnce(path)
-	if err != nil && errors.Is(err, artifact.ErrChecksum) {
+	var e *ModelEntry
+	var err error
+	for attempt := 0; attempt < reloadAttempts; attempt++ {
+		if attempt > 0 {
+			sleepBackoff(attempt - 1)
+		}
 		e, err = r.loadFileOnce(path)
+		if err == nil {
+			return e, nil
+		}
+		if !errors.Is(err, artifact.ErrChecksum) && !fault.IsInjected(err) {
+			return nil, err
+		}
 	}
-	return e, err
+	return nil, err
+}
+
+// sleepBackoff sleeps a jittered exponential backoff: uniform in
+// (base/2, base] with base = 1ms·2^attempt. Jitter decorrelates concurrent
+// retriers; the tiny base keeps the predict path's stale-entry retries well
+// inside typical request deadlines.
+func sleepBackoff(attempt int) {
+	if attempt > 6 {
+		attempt = 6
+	}
+	base := time.Millisecond << attempt
+	time.Sleep(base/2 + time.Duration(rand.Int63n(int64(base/2)+1)))
 }
 
 func (r *Registry) loadFileOnce(path string) (*ModelEntry, error) {
+	if err := fault.Inject(fault.RegistrySwap); err != nil {
+		return nil, fmt.Errorf("serve: load model: %w", err)
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("serve: read model: %w", err)

@@ -36,8 +36,13 @@ import (
 	"net/http"
 	"time"
 
+	"zerotune/internal/cluster"
+	"zerotune/internal/fault"
+	"zerotune/internal/features"
+	"zerotune/internal/gnn"
 	"zerotune/internal/obs"
 	"zerotune/internal/optimizer"
+	"zerotune/internal/queryplan"
 )
 
 // Options configures the server.
@@ -71,6 +76,19 @@ type Options struct {
 	// traces can leak operational detail, so exposing them is a deliberate
 	// operator choice.
 	Debug bool
+	// CircuitThreshold is how many consecutive forward-path failures
+	// (inference errors or timeouts) trip the circuit breaker, after which
+	// predictions degrade to the model's fallback estimator until a probe
+	// succeeds (default 5; negative disables the breaker).
+	CircuitThreshold int
+	// CircuitCooldown is how long an open circuit waits before admitting a
+	// half-open probe back onto the learned path (default 5s).
+	CircuitCooldown time.Duration
+	// CircuitProbeEvery, when positive, admits every Nth rejected request
+	// as the half-open probe instead of waiting out CircuitCooldown. The
+	// count-based schedule makes breaker transitions a pure function of the
+	// request sequence — required for seed-reproducible chaos runs.
+	CircuitProbeEvery int
 }
 
 // withDefaults fills unset options.
@@ -89,6 +107,14 @@ func (o Options) withDefaults() Options {
 	} else if o.RequestTimeout < 0 {
 		o.RequestTimeout = 0
 	}
+	if o.CircuitThreshold == 0 {
+		o.CircuitThreshold = 5
+	} else if o.CircuitThreshold < 0 {
+		o.CircuitThreshold = 0 // disabled
+	}
+	if o.CircuitCooldown <= 0 {
+		o.CircuitCooldown = 5 * time.Second
+	}
 	return o
 }
 
@@ -99,6 +125,7 @@ type Server struct {
 	cache   *Cache
 	batcher *Batcher
 	stats   *Stats
+	breaker *breaker
 	tracer  *obs.Tracer
 	mux     *http.ServeMux
 }
@@ -138,10 +165,25 @@ func New(opts Options) *Server {
 			return float64(dropped)
 		})
 	}
+	s.breaker = newBreaker(breakerConfig{
+		threshold:  opts.CircuitThreshold,
+		cooldown:   opts.CircuitCooldown,
+		probeEvery: opts.CircuitProbeEvery,
+		onOpen:     func() { s.stats.CircuitOpens.Inc() },
+	})
+	reg.GaugeFunc("zerotune_circuit_state", func() float64 { return float64(s.breaker.currentState()) })
 	s.batcher = NewBatcher(opts.BatchWindow, opts.MaxBatch, opts.QueueDepth, opts.RequestTimeout, func(n int) {
 		s.stats.Batches.Add(1)
 		s.stats.Inferences.Add(uint64(n))
 		s.stats.BatchSizes.Observe(float64(n))
+	})
+	// The forward pass runs through the gnn.forward injection point so chaos
+	// and tests can fail or stall inference without touching the model.
+	s.batcher.SetForward(func(entry *ModelEntry, graphs []*features.Graph) ([]gnn.Prediction, error) {
+		if err := fault.Inject(fault.GNNForward); err != nil {
+			return nil, err
+		}
+		return entry.ZT.PredictEncoded(graphs), nil
 	})
 	s.mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("POST /v1/tune", s.instrument("tune", s.handleTune))
@@ -166,6 +208,9 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Registry exposes the model registry (startup installs, tests).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Circuit reports the breaker's current position.
+func (s *Server) Circuit() CircuitState { return s.breaker.currentState() }
+
 // ServeModelFile loads, validates and installs the model at path.
 func (s *Server) ServeModelFile(path string) (*ModelEntry, error) {
 	_, e, err := s.reg.Swap(path)
@@ -188,13 +233,15 @@ func (s *Server) Summary() string {
 // Snapshot flattens the counters for tests and callers.
 func (s *Server) Snapshot() Snapshot {
 	snap := Snapshot{
-		Requests:   make(map[string]uint64, len(endpointNames)),
-		Errors:     make(map[string]uint64, len(endpointNames)),
-		Batches:    s.stats.Batches.Load(),
-		Inferences: s.stats.Inferences.Load(),
-		MaxBatch:   s.stats.maxBatch(),
-		Reloads:    s.stats.Reloads.Load(),
-		Cache:      s.cache.Stats(),
+		Requests:     make(map[string]uint64, len(endpointNames)),
+		Errors:       make(map[string]uint64, len(endpointNames)),
+		Batches:      s.stats.Batches.Load(),
+		Inferences:   s.stats.Inferences.Load(),
+		MaxBatch:     s.stats.maxBatch(),
+		Reloads:      s.stats.Reloads.Load(),
+		Degraded:     s.stats.Degraded.Load(),
+		CircuitOpens: s.stats.CircuitOpens.Load(),
+		Cache:        s.cache.Stats(),
 	}
 	for _, name := range endpointNames {
 		ep := s.stats.Endpoint(name)
@@ -253,6 +300,10 @@ func (s *Server) activeModel(w http.ResponseWriter) *ModelEntry {
 	return entry
 }
 
+// acquireRetries bounds how many stale-entry or injected-acquire failures a
+// predict request retries (with jittered backoff) before surfacing the error.
+const acquireRetries = 3
+
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
 	var req PredictRequest
@@ -260,7 +311,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	if req.Plan == nil {
+	if req.Plan == nil || req.Plan.Query == nil {
 		writeError(w, http.StatusBadRequest, errors.New("serve: request has no plan"))
 		return
 	}
@@ -273,6 +324,20 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if entry == nil {
 		return
 	}
+	allowed, probe := s.breaker.admit()
+	if !allowed {
+		// Circuit open: the learned path is sidestepped entirely; the
+		// request is answered by the fallback estimator (or 503 without one).
+		s.serveDegraded(w, ctx, entry, req.Plan, c, ErrCircuitOpen)
+		return
+	}
+	if probe {
+		// A probe that exits below without reaching recordSuccess or
+		// recordFailure (encode error, cache hit, backpressure, injected
+		// acquire fault) must hand the half-open slot back, or the breaker
+		// would reject every request forever. No-op once the probe resolved.
+		defer s.breaker.abandonProbe()
+	}
 	// Encode once; the graph is both the cache key and the model input.
 	g, err := entry.ZT.EncodePlan(ctx, req.Plan, c)
 	if err != nil {
@@ -281,6 +346,14 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}
 	fp := PlanFingerprint(g, entry.ZT.Mask)
 	for attempt := 0; ; attempt++ {
+		if err := fault.Inject(fault.CacheAcquire); err != nil {
+			if attempt < acquireRetries {
+				sleepBackoff(attempt)
+				continue
+			}
+			writeError(w, predictStatus(err), err)
+			return
+		}
 		lookupCtx, lookup := obs.StartSpan(ctx, "cache.lookup")
 		e, leader := s.cache.Acquire(fp)
 		lookup.SetAttr("leader", leader)
@@ -290,9 +363,10 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			pred, err := s.batcher.Predict(ctx, entry, g)
 			s.cache.Complete(e, pred, err)
 			if err != nil {
-				writeError(w, predictStatus(err), err)
+				s.finishPredict(w, ctx, entry, req.Plan, c, err)
 				return
 			}
+			s.breaker.recordSuccess()
 			writeJSON(w, http.StatusOK, PredictResponse{
 				LatencyMs: pred.LatencyMs, ThroughputEPS: pred.ThroughputEPS,
 				Cached: false, ModelID: entry.ID,
@@ -302,9 +376,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		pred, err := e.Wait(ctx)
 		if err != nil {
 			// The leader this request attached to failed; its entry is gone,
-			// so one re-acquire runs (or joins) a fresh inference instead of
-			// reporting the dead leader's transient error as our own.
-			if errors.Is(err, ErrStaleEntry) && attempt == 0 {
+			// so a bounded number of re-acquires (with jittered backoff, to
+			// avoid a retry stampede) run or join a fresh inference instead
+			// of reporting the dead leader's transient error as our own.
+			if errors.Is(err, ErrStaleEntry) && attempt < acquireRetries {
+				sleepBackoff(attempt)
 				continue
 			}
 			writeError(w, predictStatus(err), err)
@@ -316,6 +392,56 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		})
 		return
 	}
+}
+
+// finishPredict handles a cache leader's forward-path failure: genuine
+// inference failures feed the circuit breaker and degrade to the fallback
+// estimator; everything else (backpressure, client cancellation, shutdown)
+// maps straight to its error status.
+func (s *Server) finishPredict(w http.ResponseWriter, ctx context.Context, entry *ModelEntry,
+	p *queryplan.PQP, c *cluster.Cluster, err error) {
+	if !isForwardFailure(err) {
+		writeError(w, predictStatus(err), err)
+		return
+	}
+	s.breaker.recordFailure()
+	s.serveDegraded(w, ctx, entry, p, c, err)
+}
+
+// isForwardFailure classifies errors that indict the learned forward path —
+// inference errors, panics, injected faults, and batch deadline expiry — as
+// opposed to conditions the breaker must not trip on: queue backpressure,
+// client cancellation, shutdown, and stale cache entries.
+func isForwardFailure(err error) bool {
+	switch {
+	case errors.Is(err, ErrQueueFull),
+		errors.Is(err, ErrBatcherClosed),
+		errors.Is(err, ErrStaleEntry),
+		errors.Is(err, context.Canceled):
+		return false
+	default:
+		return true
+	}
+}
+
+// serveDegraded answers a predict request from the model's fallback
+// estimator with "degraded": true. Without a fallback (old artifacts) the
+// cause is surfaced as a 503 with its mapped error code.
+func (s *Server) serveDegraded(w http.ResponseWriter, ctx context.Context, entry *ModelEntry,
+	p *queryplan.PQP, c *cluster.Cluster, cause error) {
+	fb := entry.ZT.Fallback
+	if fb == nil {
+		writeError(w, predictStatus(cause), cause)
+		return
+	}
+	_, span := obs.StartSpan(ctx, "fallback.predict")
+	lat, tpt := fb.Predict(p, c)
+	span.End()
+	s.stats.Degraded.Inc()
+	writeJSON(w, http.StatusOK, PredictResponse{
+		LatencyMs: lat, ThroughputEPS: tpt,
+		ModelID: entry.ID, Degraded: true, Fallback: fb.Kind,
+	})
 }
 
 // predictStatus maps prediction failures to HTTP: a full queue is
@@ -417,7 +543,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, HealthResponse{
-		Status: "ok",
+		Status:  "ok",
+		Circuit: s.breaker.currentState().String(),
 		Model: ModelInfo{
 			ID: entry.ID, Path: entry.Path, Params: entry.ZT.Model.NumParams(),
 			Mask: entry.ZT.Mask.String(), Gen: entry.Gen,

@@ -40,6 +40,9 @@ type Stats struct {
 	Batches    *obs.Counter // flushed micro-batches
 	Inferences *obs.Counter // graphs pushed through the model
 	Reloads    *obs.Counter // successful hot swaps
+
+	Degraded     *obs.Counter // predictions answered by the fallback estimator
+	CircuitOpens *obs.Counter // closed/half-open → open transitions
 }
 
 // NewStats registers the serving instruments on reg (a private registry
@@ -57,6 +60,9 @@ func NewStats(reg *obs.Registry) *Stats {
 		Batches:    reg.Counter("zerotune_batches_total"),
 		Inferences: reg.Counter("zerotune_inferences_total"),
 		Reloads:    reg.Counter("zerotune_model_reloads_total"),
+
+		Degraded:     reg.Counter("zerotune_serve_degraded_total"),
+		CircuitOpens: reg.Counter("zerotune_circuit_open_total"),
 	}
 	for _, name := range endpointNames {
 		l := obs.L("endpoint", name)
@@ -80,13 +86,15 @@ func (s *Stats) Endpoint(name string) *EndpointStats { return s.endpoints[name] 
 // Snapshot is the flattened counter view used by tests and the shutdown
 // summary.
 type Snapshot struct {
-	Requests   map[string]uint64
-	Errors     map[string]uint64
-	Batches    uint64
-	Inferences uint64
-	MaxBatch   float64
-	Reloads    uint64
-	Cache      CacheStats
+	Requests     map[string]uint64
+	Errors       map[string]uint64
+	Batches      uint64
+	Inferences   uint64
+	MaxBatch     float64
+	Reloads      uint64
+	Degraded     uint64
+	CircuitOpens uint64
+	Cache        CacheStats
 }
 
 // WriteMetrics renders the registry in the Prometheus text format plus the

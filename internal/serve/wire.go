@@ -96,6 +96,12 @@ type PredictResponse struct {
 	Cached bool `json:"cached"`
 	// ModelID identifies the model revision that produced the estimate.
 	ModelID string `json:"model_id"`
+	// Degraded reports the learned model was unavailable (circuit open or
+	// forward-pass failure) and the fallback estimator produced this answer.
+	Degraded bool `json:"degraded,omitempty"`
+	// Fallback names the estimator that answered a degraded request
+	// (currently "linreg").
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // TuneRequest asks the optimizer to pick parallelism degrees for a logical
@@ -138,8 +144,10 @@ type ReloadResponse struct {
 
 // HealthResponse is the /healthz payload.
 type HealthResponse struct {
-	Status string    `json:"status"`
-	Model  ModelInfo `json:"model"`
+	Status string `json:"status"`
+	// Circuit is the breaker position: "closed", "half-open" or "open".
+	Circuit string    `json:"circuit,omitempty"`
+	Model   ModelInfo `json:"model"`
 }
 
 // ModelInfo identifies the active model revision.
