@@ -11,6 +11,7 @@ import (
 	"syscall"
 	"time"
 
+	"zerotune/internal/core"
 	"zerotune/internal/serve"
 )
 
@@ -29,6 +30,8 @@ func runServe(args []string) error {
 	debug := fs.Bool("debug", false, "enable /debug/traces and /debug/pprof endpoints")
 	circuitThreshold := fs.Int("circuit-threshold", 5, "consecutive forward failures that trip the circuit breaker (negative: disabled)")
 	circuitCooldown := fs.Duration("circuit-cooldown", 5*time.Second, "open-circuit wait before probing the learned path again")
+	compiled := fs.Bool("compiled", core.CompiledEnabled(),
+		"serve through the fused-batch inference engine; its accuracy gate becomes part of model validation (default: ZEROTUNE_COMPILED)")
 	_ = fs.Parse(args)
 
 	s := serve.New(serve.Options{
@@ -39,6 +42,7 @@ func runServe(args []string) error {
 		Debug:            *debug,
 		CircuitThreshold: *circuitThreshold,
 		CircuitCooldown:  *circuitCooldown,
+		Compiled:         *compiled,
 	})
 	entry, err := s.ServeModelFile(*model)
 	if err != nil {

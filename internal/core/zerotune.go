@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"sync/atomic"
 
 	"zerotune/internal/artifact"
 	"zerotune/internal/cluster"
@@ -37,7 +39,51 @@ type ZeroTune struct {
 	// when the learned forward path is unavailable. Nil on models saved
 	// before fallbacks existed.
 	Fallback *flatvec.Fallback
+
+	// compiled is the fused-batch inference engine, installed by Compile.
+	// When present, every predict path dispatches to it; nil keeps the
+	// reference float64 forward pass.
+	compiled atomic.Pointer[gnn.CompiledModel]
 }
+
+// CompiledEnv is the environment variable that turns the compiled inference
+// engine on ("1", "true", "on", "yes") for commands that honor it; the
+// -compiled flag overrides it.
+const CompiledEnv = "ZEROTUNE_COMPILED"
+
+// CompiledEnabled reports whether the environment asks for the compiled
+// engine.
+func CompiledEnabled() bool {
+	switch strings.ToLower(os.Getenv(CompiledEnv)) {
+	case "1", "true", "on", "yes":
+		return true
+	}
+	return false
+}
+
+// Compile builds the fused-batch inference engine for the model (see
+// gnn.Compile) and installs it, so Predict/PredictBatch/PredictEncoded run
+// the batched float32 GEMM path instead of the per-graph float64 reference.
+// The accuracy gate runs first: an engine whose validation q-error exceeds
+// the budget is refused, the error is returned, and the reference path keeps
+// serving. Safe to call concurrently with predictions; in-flight calls
+// finish on the engine they started with.
+func (z *ZeroTune) Compile(opts gnn.CompileOptions) error {
+	cm, err := gnn.Compile(z.Model, opts)
+	if err != nil {
+		return err
+	}
+	z.compiled.Store(cm)
+	return nil
+}
+
+// Compiled returns the installed inference engine, nil when predictions run
+// the reference path.
+func (z *ZeroTune) Compiled() *gnn.CompiledModel { return z.compiled.Load() }
+
+// Decompile removes the compiled engine, reverting to the reference path
+// (used after fine-tuning, which mutates the weights the engine froze).
+func (z *ZeroTune) Decompile() { z.compiled.Store(nil) }
 
 // Train fits a fresh ZeroTune model on labelled workload items. The
 // context cancels training at the next epoch boundary (after a final
@@ -114,6 +160,9 @@ func (z *ZeroTune) FineTune(ctx context.Context, items []*workload.Item, opts *T
 			return gnn.TrainStats{}, err
 		}
 	}
+	// Training mutates the weights a compiled engine froze; drop it rather
+	// than serve stale predictions. Callers re-Compile after fine-tuning.
+	z.Decompile()
 	return gnn.Train(ctx, z.Model, workload.Graphs(data), opts.trainConfig())
 }
 
@@ -128,6 +177,9 @@ func (z *ZeroTune) Predict(ctx context.Context, p *queryplan.PQP, c *cluster.Clu
 	}
 	_, span := obs.StartSpan(ctx, "gnn.forward")
 	defer span.End()
+	if cm := z.compiled.Load(); cm != nil {
+		return cm.Predict(g), nil
+	}
 	return z.Model.Predict(g), nil
 }
 
@@ -170,6 +222,9 @@ func (z *ZeroTune) PredictBatch(ctx context.Context, ps []*queryplan.PQP, c *clu
 	}
 	_, fwd := obs.StartSpan(ctx, "gnn.forward")
 	defer fwd.End()
+	if cm := z.compiled.Load(); cm != nil {
+		return cm.PredictBatch(graphs), nil
+	}
 	return z.Model.PredictBatch(graphs, workers), nil
 }
 
@@ -189,11 +244,27 @@ func (z *ZeroTune) EncodePlan(ctx context.Context, p *queryplan.PQP, c *cluster.
 	return features.Encode(p, c, z.Mask)
 }
 
-// PredictEncoded runs the data-parallel forward pass over pre-encoded
-// graphs (see EncodePlan). Results are identical to Predict on the plans
-// the graphs came from, for any worker count.
+// PredictEncoded runs the batched forward pass over pre-encoded graphs (see
+// EncodePlan) — the compiled fused engine when one is installed, the
+// data-parallel reference otherwise. Results are identical to Predict on the
+// plans the graphs came from, for any worker count.
 func (z *ZeroTune) PredictEncoded(graphs []*features.Graph) []gnn.Prediction {
+	if cm := z.compiled.Load(); cm != nil {
+		return cm.PredictBatch(graphs)
+	}
 	return z.Model.PredictBatch(graphs, parallel.Workers())
+}
+
+// PredictEncodedInto is PredictEncoded writing into dst (reset to length 0,
+// appended once per graph, in order, and returned). With a compiled engine
+// installed and cap(dst) >= len(graphs) the call is allocation-free in the
+// steady state — the serve batcher's flush path relies on this.
+func (z *ZeroTune) PredictEncodedInto(dst []gnn.Prediction, graphs []*features.Graph) []gnn.Prediction {
+	if cm := z.compiled.Load(); cm != nil {
+		return cm.PredictBatchInto(dst, graphs)
+	}
+	preds := z.Model.PredictBatch(graphs, parallel.Workers())
+	return append(dst[:0], preds...)
 }
 
 // modelEstimator adapts the model to the optimizer's estimator interfaces,

@@ -1,0 +1,114 @@
+package gnn
+
+import (
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/features"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+// benchGraphs builds a candidate-sweep-shaped batch: the same queries at many
+// parallelism assignments placed on one cluster — exactly what the optimizer
+// feeds PredictBatch hundreds of times per tuning call. The sweep produces a
+// handful of distinct topology shapes (placement follows the degrees), so the
+// batch exercises both the bucketing and the padding of the fused engine.
+func benchGraphs(tb testing.TB, n int) []*features.Graph {
+	tb.Helper()
+	c, err := cluster.New(4, cluster.SeenTypes(), 10)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	queries := []*queryplan.Query{
+		queryplan.SpikeDetection(10_000),
+		queryplan.SmartGridLocal(20_000),
+	}
+	graphs := make([]*features.Graph, 0, n)
+	for i := 0; len(graphs) < n; i++ {
+		q := queries[i%len(queries)]
+		p := queryplan.NewPQP(q)
+		for _, op := range q.Ops {
+			p.SetDegree(op.ID, 1+(i+op.ID)%8)
+		}
+		if err := cluster.Place(p, c); err != nil {
+			tb.Fatal(err)
+		}
+		g, err := features.Encode(p, c, features.MaskAll)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	return graphs
+}
+
+func benchModel() *Model {
+	return New(tensor.NewRNG(7), DefaultConfig())
+}
+
+// BenchmarkPredictBatch measures forward-pass throughput of the production
+// batched inference path — the compiled fused engine — over a 64-plan
+// candidate sweep, the optimizer's and the serve batcher's hot loop.
+// Reported in graphs/sec.
+func BenchmarkPredictBatch(b *testing.B) {
+	m := benchModel()
+	cm, err := Compile(m, CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	graphs := benchGraphs(b, 64)
+	dst := make([]Prediction, 0, len(graphs))
+	dst = cm.PredictBatchInto(dst, graphs)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = cm.PredictBatchInto(dst, graphs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(graphs))/b.Elapsed().Seconds(), "graphs/sec")
+}
+
+// BenchmarkPredictBatchRef measures the same sweep through the float64
+// reference path, for comparison against the compiled engine.
+func BenchmarkPredictBatchRef(b *testing.B) {
+	m := benchModel()
+	graphs := benchGraphs(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictBatch(graphs, 0)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(graphs))/b.Elapsed().Seconds(), "graphs/sec")
+}
+
+// BenchmarkPredictCompiledSingle measures one-graph latency through the
+// compiled engine (scratch pool warm).
+func BenchmarkPredictCompiledSingle(b *testing.B) {
+	m := benchModel()
+	cm, err := Compile(m, CompileOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := benchGraphs(b, 1)[0]
+	cm.Predict(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cm.Predict(g)
+	}
+}
+
+// BenchmarkPredictSingle measures one-graph latency of the reference
+// per-graph forward pass (trace reused across iterations).
+func BenchmarkPredictSingle(b *testing.B) {
+	m := benchModel()
+	g := benchGraphs(b, 1)[0]
+	tr := &trace{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.forwardInto(tr, g)
+	}
+}

@@ -1,0 +1,262 @@
+package gnn
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"zerotune/internal/cluster"
+	"zerotune/internal/features"
+	"zerotune/internal/queryplan"
+	"zerotune/internal/tensor"
+)
+
+// corpusQueries builds a structurally diverse query set: the three benchmark
+// templates (seen structures) plus synthetic linear / chained-filter /
+// n-way-join plans (unseen structures).
+func corpusQueries() []*queryplan.Query {
+	src := queryplan.SourceSpec{EventRate: 12_000, TupleWidth: 3, DataType: queryplan.TypeInt}
+	filt := queryplan.FilterSpec{Func: queryplan.CmpGT, LiteralClass: queryplan.TypeInt, Selectivity: 0.6}
+	agg := queryplan.AggSpec{
+		Func: queryplan.AggSum, Class: queryplan.TypeInt, KeyClass: queryplan.TypeInt, Selectivity: 0.3,
+		Window: queryplan.WindowSpec{Type: queryplan.WindowTumbling, Policy: queryplan.PolicyCount, Length: 50},
+	}
+	join := queryplan.JoinSpec{
+		KeyClass: queryplan.TypeInt, Selectivity: 0.05,
+		Window: queryplan.WindowSpec{Type: queryplan.WindowTumbling, Policy: queryplan.PolicyTime, Length: 1000},
+	}
+	return []*queryplan.Query{
+		queryplan.SpikeDetection(10_000),
+		queryplan.SmartGridLocal(20_000),
+		queryplan.SmartGridGlobal(30_000),
+		queryplan.Linear(src, filt, agg),
+		queryplan.ChainedFilters(3, src, []queryplan.FilterSpec{filt, filt, filt}),
+		queryplan.NWayJoin(2,
+			[]queryplan.SourceSpec{src, src},
+			[]queryplan.FilterSpec{filt, filt},
+			[]queryplan.JoinSpec{join},
+			agg),
+	}
+}
+
+// corpusGraphs encodes each corpus query at several parallelism degrees on
+// seen and unseen clusters, yielding a mixed-topology batch.
+func corpusGraphs(tb testing.TB) []*features.Graph {
+	tb.Helper()
+	seen, err := cluster.New(4, cluster.SeenTypes(), 10)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	unseen, err := cluster.New(3, cluster.UnseenTypes(), 25)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var graphs []*features.Graph
+	for qi, q := range corpusQueries() {
+		for v := 0; v < 3; v++ {
+			c := seen
+			if qi%2 == 1 {
+				c = unseen
+			}
+			p := queryplan.NewPQP(q)
+			for _, op := range q.Ops {
+				p.SetDegree(op.ID, 1+(qi+v+op.ID)%6)
+			}
+			if err := cluster.Place(p, c); err != nil {
+				tb.Fatal(err)
+			}
+			g, err := features.Encode(p, c, features.MaskAll)
+			if err != nil {
+				tb.Fatal(err)
+			}
+			graphs = append(graphs, g)
+		}
+	}
+	return graphs
+}
+
+// TestCompiledF64BitIdentical: the float64 fused engine must reproduce the
+// reference forward bit for bit on every graph, across seen and unseen
+// structures, in a single mixed-topology batch.
+func TestCompiledF64BitIdentical(t *testing.T) {
+	m := New(tensor.NewRNG(11), DefaultConfig())
+	cm, err := Compile(m, CompileOptions{Engine: EngineF64})
+	if err != nil {
+		t.Fatalf("Compile(f64): %v", err)
+	}
+	if cm.Gate.MaxQErr != 1 {
+		t.Errorf("f64 gate q-error = %v, want exactly 1", cm.Gate.MaxQErr)
+	}
+	graphs := corpusGraphs(t)
+	got := cm.PredictBatch(graphs)
+	for i, g := range graphs {
+		want := m.Predict(g)
+		if got[i] != want {
+			t.Errorf("graph %d (%s): fused f64 %+v != reference %+v", i, g.Template, got[i], want)
+		}
+	}
+	// Single-graph path too.
+	for i, g := range graphs[:4] {
+		if p := cm.Predict(g); p != m.Predict(g) {
+			t.Errorf("graph %d: Predict mismatch %+v", i, p)
+		}
+	}
+}
+
+// TestCompiledF64ReadoutSink covers the ablation read-out mode.
+func TestCompiledF64ReadoutSink(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Readout = ReadoutSink
+	m := New(tensor.NewRNG(12), cfg)
+	cm, err := Compile(m, CompileOptions{Engine: EngineF64})
+	if err != nil {
+		t.Fatalf("Compile(f64, sink): %v", err)
+	}
+	for i, g := range corpusGraphs(t) {
+		if got, want := cm.Predict(g), m.Predict(g); got != want {
+			t.Errorf("graph %d: sink readout fused %+v != reference %+v", i, got, want)
+		}
+	}
+}
+
+// TestCompiledF32WithinGate: the float32 engine must pass the default 1%
+// accuracy gate and stay within it on an independent corpus.
+func TestCompiledF32WithinGate(t *testing.T) {
+	m := New(tensor.NewRNG(13), DefaultConfig())
+	cm, err := Compile(m, CompileOptions{})
+	if err != nil {
+		t.Fatalf("Compile(f32): %v", err)
+	}
+	if cm.Engine != EngineF32 {
+		t.Fatalf("default engine = %v, want f32", cm.Engine)
+	}
+	if cm.Gate.MaxQErr > 1+DefaultGateThreshold {
+		t.Fatalf("gate q-error %v exceeds default budget", cm.Gate.MaxQErr)
+	}
+	graphs := corpusGraphs(t)
+	got := cm.PredictBatch(graphs)
+	for i, g := range graphs {
+		want := m.Predict(g)
+		for _, pair := range [][2]float64{
+			{want.LatencyMs, got[i].LatencyMs},
+			{want.ThroughputEPS, got[i].ThroughputEPS},
+		} {
+			if q := qerr(pair[0], pair[1]); q > 1+DefaultGateThreshold {
+				t.Errorf("graph %d (%s): f32 q-error %v vs reference (%v vs %v)",
+					i, g.Template, q, pair[1], pair[0])
+			}
+		}
+	}
+}
+
+// TestCompiledF32PortableKernel: with SIMD off, the portable Go kernel must
+// produce near-identical results to the vector path (and still pass the
+// gate), so non-amd64 builds share the tested numerics.
+func TestCompiledF32PortableKernel(t *testing.T) {
+	m := New(tensor.NewRNG(14), DefaultConfig())
+	cm, err := Compile(m, CompileOptions{})
+	if err != nil {
+		t.Fatalf("Compile(f32): %v", err)
+	}
+	graphs := corpusGraphs(t)
+	fast := cm.PredictBatch(graphs)
+	prev := tensor.SetSIMD(false)
+	slow := cm.PredictBatch(graphs)
+	tensor.SetSIMD(prev)
+	for i := range graphs {
+		for _, pair := range [][2]float64{
+			{fast[i].LogLatency, slow[i].LogLatency},
+			{fast[i].LogThroughput, slow[i].LogThroughput},
+		} {
+			if d := math.Abs(pair[0] - pair[1]); d > 1e-4 {
+				t.Errorf("graph %d: simd/portable drift %v (%v vs %v)", i, d, pair[0], pair[1])
+			}
+		}
+	}
+}
+
+// TestCompiledGateRejectsCorruptedModel: a corrupted int8 scale (simulating
+// a damaged artifact) must be refused by the accuracy gate, while the honest
+// quantization compiles under the same loosened budget.
+func TestCompiledGateRejectsCorruptedModel(t *testing.T) {
+	m := New(tensor.NewRNG(15), DefaultConfig())
+	const budget = 1.0 // int8 carries real quantization error; gate on gross corruption
+	honest := QuantizeInt8(m)
+	if _, err := Compile(m, CompileOptions{Engine: EngineInt8, Int8: honest, MaxQErrDelta: budget}); err != nil {
+		t.Fatalf("honest int8 refused: %v", err)
+	}
+	corrupt := QuantizeInt8(m)
+	corrupt.Layers[len(corrupt.Layers)/2].Scale *= 64
+	_, err := Compile(m, CompileOptions{Engine: EngineInt8, Int8: corrupt, MaxQErrDelta: budget})
+	if !errors.Is(err, ErrAccuracyGate) {
+		t.Fatalf("corrupted int8 scale: got err %v, want ErrAccuracyGate", err)
+	}
+}
+
+// TestCompiledTightGateRejectsInt8: the default 1% budget is tight enough to
+// notice honest int8 quantization error on a random-init model — the gate is
+// doing real work, not rubber-stamping.
+func TestCompiledTightGateRejectsInt8(t *testing.T) {
+	m := New(tensor.NewRNG(16), DefaultConfig())
+	_, err := Compile(m, CompileOptions{Engine: EngineInt8, MaxQErrDelta: 1e-9})
+	if !errors.Is(err, ErrAccuracyGate) {
+		t.Fatalf("int8 under near-zero budget: got err %v, want ErrAccuracyGate", err)
+	}
+}
+
+// TestCompiledZeroAlloc: steady-state fused inference must not allocate —
+// batch, single-graph, and mixed-topology paths.
+func TestCompiledZeroAlloc(t *testing.T) {
+	m := New(tensor.NewRNG(17), DefaultConfig())
+	cm, err := Compile(m, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := corpusGraphs(t)
+	dst := make([]Prediction, 0, len(graphs))
+	dst = cm.PredictBatchInto(dst, graphs) // warm the scratch pool
+	if n := testing.AllocsPerRun(20, func() {
+		dst = cm.PredictBatchInto(dst, graphs)
+	}); n != 0 {
+		t.Errorf("PredictBatchInto allocs/op = %v, want 0", n)
+	}
+	g := graphs[0]
+	cm.Predict(g)
+	if n := testing.AllocsPerRun(20, func() {
+		cm.Predict(g)
+	}); n != 0 {
+		t.Errorf("Predict allocs/op = %v, want 0", n)
+	}
+}
+
+// TestCompiledBucketOrder: predictions come back in input order regardless
+// of how the batch buckets, including duplicate graphs.
+func TestCompiledBucketOrder(t *testing.T) {
+	m := New(tensor.NewRNG(18), DefaultConfig())
+	cm, err := Compile(m, CompileOptions{Engine: EngineF64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphs := corpusGraphs(t)
+	// Interleave so same-structure graphs are scattered through the batch.
+	shuffled := make([]*features.Graph, 0, 2*len(graphs))
+	for i := range graphs {
+		shuffled = append(shuffled, graphs[i], graphs[len(graphs)-1-i])
+	}
+	got := cm.PredictBatch(shuffled)
+	for i, g := range shuffled {
+		if want := m.Predict(g); got[i] != want {
+			t.Errorf("position %d: got %+v, want %+v", i, got[i], want)
+		}
+	}
+}
+
+// TestCompiledValidatesModel: a broken model must be refused before any
+// weight conversion happens.
+func TestCompiledValidatesModel(t *testing.T) {
+	m := New(tensor.NewRNG(19), DefaultConfig())
+	m.LatHead.Layers[0].W.Data[0] = math.NaN()
+	if _, err := Compile(m, CompileOptions{}); err == nil {
+		t.Fatal("Compile accepted a NaN model")
+	}
+}

@@ -258,8 +258,10 @@ func TestServeCacheHitSkipsInference(t *testing.T) {
 	if after.Inferences != before.Inferences {
 		t.Fatalf("cache hit still ran inference (%d → %d)", before.Inferences, after.Inferences)
 	}
-	if after.Cache.Hits != before.Cache.Hits+1 {
-		t.Fatalf("hit counter did not advance: %+v → %+v", before.Cache, after.Cache)
+	hits := func(s serve.Snapshot) uint64 { return s.Cache.Hits + s.BodyHits }
+	if hits(after) != hits(before)+1 {
+		t.Fatalf("hit counters did not advance: %+v/%d → %+v/%d",
+			before.Cache, before.BodyHits, after.Cache, after.BodyHits)
 	}
 }
 

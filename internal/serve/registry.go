@@ -16,6 +16,7 @@ import (
 	"zerotune/internal/cluster"
 	"zerotune/internal/core"
 	"zerotune/internal/fault"
+	"zerotune/internal/gnn"
 	"zerotune/internal/queryplan"
 )
 
@@ -39,18 +40,35 @@ type Registry struct {
 	cur atomic.Pointer[ModelEntry]
 	gen atomic.Uint64
 	mu  sync.Mutex // serializes reloads; reads are lock-free
+
+	// compile asks every load to build the fused inference engine
+	// (core.ZeroTune.Compile) and makes its accuracy gate part of
+	// load-validate-swap: a model whose compiled predictions drift beyond the
+	// gate budget is refused like any other invalid file, leaving the old
+	// model serving.
+	compile atomic.Bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry { return &Registry{} }
+
+// SetCompile turns compiled-engine loading on or off for subsequent loads;
+// the currently served entry is unaffected.
+func (r *Registry) SetCompile(on bool) { r.compile.Store(on) }
 
 // Current returns the active model revision, or nil before the first
 // install.
 func (r *Registry) Current() *ModelEntry { return r.cur.Load() }
 
 // Install activates an in-memory model (tests, embedded serving). The id
-// may be empty; a generation-derived one is assigned.
+// may be empty; a generation-derived one is assigned. With compiled loading
+// enabled the engine is built here too, but a gate failure only logs the
+// model back to the reference path — the caller handed us the model
+// directly, and the reference forward pass is always correct.
 func (r *Registry) Install(zt *core.ZeroTune, id, path string) *ModelEntry {
+	if r.compile.Load() && zt.Compiled() == nil {
+		_ = zt.Compile(gnn.CompileOptions{})
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if id == "" {
@@ -116,6 +134,14 @@ func (r *Registry) loadFileOnce(path string) (*ModelEntry, error) {
 	}
 	if err := probe(zt); err != nil {
 		return nil, err
+	}
+	if r.compile.Load() {
+		// The compile step's accuracy gate is part of validation: a compiled
+		// model that disagrees with its own float64 reference beyond the
+		// budget never swaps in.
+		if err := zt.Compile(gnn.CompileOptions{}); err != nil {
+			return nil, fmt.Errorf("serve: compile model: %w", err)
+		}
 	}
 	sum := sha256.Sum256(data)
 	return &ModelEntry{ZT: zt, ID: fmt.Sprintf("sha256:%x", sum[:6]), Path: path, LoadedAt: time.Now()}, nil

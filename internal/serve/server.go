@@ -31,9 +31,12 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"sync"
 	"time"
 
 	"zerotune/internal/cluster"
@@ -89,6 +92,12 @@ type Options struct {
 	// count-based schedule makes breaker transitions a pure function of the
 	// request sequence — required for seed-reproducible chaos runs.
 	CircuitProbeEvery int
+	// Compiled builds the fused-batch inference engine for every installed
+	// model (gnn.Compile) and makes its accuracy gate part of the reload
+	// protocol: a model whose compiled predictions drift beyond the gate
+	// budget is refused at load time. The cmd layer defaults this from the
+	// ZEROTUNE_COMPILED environment variable.
+	Compiled bool
 }
 
 // withDefaults fills unset options.
@@ -120,14 +129,17 @@ func (o Options) withDefaults() Options {
 
 // Server is the HTTP serving layer over a model registry.
 type Server struct {
-	opts    Options
-	reg     *Registry
-	cache   *Cache
-	batcher *Batcher
-	stats   *Stats
-	breaker *breaker
-	tracer  *obs.Tracer
-	mux     *http.ServeMux
+	opts     Options
+	reg      *Registry
+	cache    *Cache
+	resp     *respCache
+	respHits *obs.Counter
+	bodyBufs sync.Pool // *[]byte request-body read buffers
+	batcher  *Batcher
+	stats    *Stats
+	breaker  *breaker
+	tracer   *obs.Tracer
+	mux      *http.ServeMux
 }
 
 // New builds a server around an empty registry; install a model with
@@ -148,6 +160,10 @@ func New(opts Options) *Server {
 		tracer: opts.Tracer,
 		mux:    http.NewServeMux(),
 	}
+	s.reg.SetCompile(opts.Compiled)
+	s.resp = newRespCache(opts.CacheSize)
+	s.respHits = reg.Counter("zerotune_body_cache_hits_total")
+	s.bodyBufs.New = func() any { b := make([]byte, 0, 4096); return &b }
 	s.cache = NewCacheWithCounters(opts.CacheSize, CacheCounters{
 		Hits:      reg.Counter("zerotune_cache_hits_total"),
 		Coalesced: reg.Counter("zerotune_cache_coalesced_total"),
@@ -178,12 +194,18 @@ func New(opts Options) *Server {
 		s.stats.BatchSizes.Observe(float64(n))
 	})
 	// The forward pass runs through the gnn.forward injection point so chaos
-	// and tests can fail or stall inference without touching the model.
+	// and tests can fail or stall inference without touching the model. The
+	// prediction slice persists across flushes — the closure runs only on the
+	// batcher's single flush goroutine, and the batcher copies results out
+	// before the next flush — so a compiled model's steady-state flush path
+	// does not allocate.
+	var flushPreds []gnn.Prediction
 	s.batcher.SetForward(func(entry *ModelEntry, graphs []*features.Graph) ([]gnn.Prediction, error) {
 		if err := fault.Inject(fault.GNNForward); err != nil {
 			return nil, err
 		}
-		return entry.ZT.PredictEncoded(graphs), nil
+		flushPreds = entry.ZT.PredictEncodedInto(flushPreds, graphs)
+		return flushPreds, nil
 	})
 	s.mux.HandleFunc("POST /v1/predict", s.instrument("predict", s.handlePredict))
 	s.mux.HandleFunc("POST /v1/tune", s.instrument("tune", s.handleTune))
@@ -218,6 +240,7 @@ func (s *Server) ServeModelFile(path string) (*ModelEntry, error) {
 		return nil, err
 	}
 	s.cache.Clear()
+	s.resp.clear()
 	return e, nil
 }
 
@@ -242,6 +265,7 @@ func (s *Server) Snapshot() Snapshot {
 		Degraded:     s.stats.Degraded.Load(),
 		CircuitOpens: s.stats.CircuitOpens.Load(),
 		Cache:        s.cache.Stats(),
+		BodyHits:     s.respHits.Load(),
 	}
 	for _, name := range endpointNames {
 		ep := s.stats.Endpoint(name)
@@ -306,9 +330,28 @@ const acquireRetries = 3
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	ctx := r.Context()
-	var req PredictRequest
-	if err := decodeJSON(w, r, &req); err != nil {
+	// The body is read once: its raw bytes key the outermost response cache,
+	// and on a miss the same bytes are decoded. A byte-identical repeat of a
+	// recent request skips decode, placement, featurization and inference
+	// entirely — the stored response embeds the model ID and the whole cache
+	// clears on swap, so it can never outlive its model.
+	bufp := s.bodyBufs.Get().(*[]byte)
+	defer s.bodyBufs.Put(bufp)
+	body, err := readBody(w, r, (*bufp)[:0])
+	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	*bufp = body[:0]
+	if data, ok := s.resp.get(body); ok {
+		s.respHits.Inc()
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write(data)
+		return
+	}
+	var req PredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: decode request: %w", err))
 		return
 	}
 	if req.Plan == nil || req.Plan.Query == nil {
@@ -367,7 +410,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 				return
 			}
 			s.breaker.recordSuccess()
-			writeJSON(w, http.StatusOK, PredictResponse{
+			s.writePredict(w, body, PredictResponse{
 				LatencyMs: pred.LatencyMs, ThroughputEPS: pred.ThroughputEPS,
 				Cached: false, ModelID: entry.ID,
 			})
@@ -386,11 +429,22 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 			writeError(w, predictStatus(err), err)
 			return
 		}
-		writeJSON(w, http.StatusOK, PredictResponse{
+		s.writePredict(w, body, PredictResponse{
 			LatencyMs: pred.LatencyMs, ThroughputEPS: pred.ThroughputEPS,
 			Cached: true, ModelID: entry.ID,
 		})
 		return
+	}
+}
+
+// writePredict writes a successful prediction and retains its marshaled form
+// in the body-level response cache, flagged Cached for the repeats it will
+// answer.
+func (s *Server) writePredict(w http.ResponseWriter, body []byte, resp PredictResponse) {
+	writeJSON(w, http.StatusOK, resp)
+	resp.Cached = true
+	if data, err := json.Marshal(resp); err == nil {
+		s.resp.put(body, append(data, '\n'))
 	}
 }
 
@@ -528,6 +582,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.Clear()
+	s.resp.clear()
 	s.stats.Reloads.Add(1)
 	resp := ReloadResponse{ModelID: cur.ID, Path: cur.Path}
 	if old != nil {

@@ -95,6 +95,9 @@ type Snapshot struct {
 	Degraded     uint64
 	CircuitOpens uint64
 	Cache        CacheStats
+	// BodyHits counts repeats answered by the raw-body response cache,
+	// which sits in front of the plan-fingerprint cache.
+	BodyHits uint64
 }
 
 // WriteMetrics renders the registry in the Prometheus text format plus the

@@ -187,6 +187,27 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
+// readBody reads the whole request body (bounded like decodeJSON) into buf,
+// growing it as needed, and returns the filled slice. Reusing the caller's
+// buffer keeps the body-cache hit path free of per-request read allocations
+// once buffers are warm.
+func readBody(w http.ResponseWriter, r *http.Request, buf []byte) ([]byte, error) {
+	lr := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := lr.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: read request: %w", err)
+		}
+	}
+}
+
 // writeJSON writes v with the given status.
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -1,0 +1,161 @@
+package tensor
+
+import "fmt"
+
+// Float32 mirrors of the hot-path types. The compiled inference engine keeps
+// its weights and activations in float32: half the memory traffic of float64
+// and twice the SIMD lane count, which is where the fused forward pass gets
+// most of its speed. Matrices carry an explicit row stride so columns can be
+// padded to the 16-float width of the AVX2 microkernel without copies.
+
+// Vector32 is a dense float32 vector.
+type Vector32 []float32
+
+// NewVector32 returns a zeroed vector of length n.
+func NewVector32(n int) Vector32 { return make(Vector32, n) }
+
+// Zero resets every element to 0 and returns v.
+func (v Vector32) Zero() Vector32 {
+	for i := range v {
+		v[i] = 0
+	}
+	return v
+}
+
+// AddInPlace adds w element-wise into v. Lengths must match.
+func (v Vector32) AddInPlace(w Vector32) Vector32 {
+	mustSameLen(len(v), len(w))
+	n := len(v)
+	w = w[:n]
+	i := 0
+	for ; i+3 < n; i += 4 {
+		v[i] += w[i]
+		v[i+1] += w[i+1]
+		v[i+2] += w[i+2]
+		v[i+3] += w[i+3]
+	}
+	for ; i < n; i++ {
+		v[i] += w[i]
+	}
+	return v
+}
+
+// AxpyInPlace performs v += a*w. Lengths must match.
+func (v Vector32) AxpyInPlace(a float32, w Vector32) Vector32 {
+	mustSameLen(len(v), len(w))
+	n := len(v)
+	w = w[:n]
+	i := 0
+	for ; i+3 < n; i += 4 {
+		v[i] += a * w[i]
+		v[i+1] += a * w[i+1]
+		v[i+2] += a * w[i+2]
+		v[i+3] += a * w[i+3]
+	}
+	for ; i < n; i++ {
+		v[i] += a * w[i]
+	}
+	return v
+}
+
+// ToF64 converts v into out (allocated when nil) and returns it.
+func (v Vector32) ToF64(out Vector) Vector {
+	if out == nil {
+		out = NewVector(len(v))
+	}
+	mustSameLen(len(v), len(out))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Vector32From converts a float64 vector to float32.
+func Vector32From(v Vector) Vector32 {
+	out := make(Vector32, len(v))
+	for i, x := range v {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+// Matrix32 is a dense row-major float32 matrix with an explicit row stride
+// (Stride >= Cols). Element (r, c) lives at Data[r*Stride+c]; columns
+// [Cols, Stride) of each row are padding owned by the matrix.
+type Matrix32 struct {
+	Rows, Cols int
+	Stride     int
+	Data       []float32 // len == Rows*Stride
+}
+
+// NewMatrix32 returns a zeroed rows×cols matrix with Stride == cols.
+func NewMatrix32(rows, cols int) *Matrix32 { return NewMatrix32Strided(rows, cols, cols) }
+
+// NewMatrix32Strided returns a zeroed rows×cols matrix with the given row
+// stride (>= cols). Use a stride rounded up to a multiple of 16 to make the
+// matrix eligible for the AVX2 GEMM path.
+func NewMatrix32Strided(rows, cols, stride int) *Matrix32 {
+	if rows < 0 || cols < 0 || stride < cols {
+		panic(fmt.Sprintf("tensor: bad Matrix32 shape %dx%d stride %d", rows, cols, stride))
+	}
+	return &Matrix32{Rows: rows, Cols: cols, Stride: stride, Data: make([]float32, rows*stride)}
+}
+
+// At returns the element at (r, c).
+func (m *Matrix32) At(r, c int) float32 { return m.Data[r*m.Stride+c] }
+
+// Set writes the element at (r, c).
+func (m *Matrix32) Set(r, c int, v float32) { m.Data[r*m.Stride+c] = v }
+
+// Row returns row r (without padding) sharing storage with m.
+func (m *Matrix32) Row(r int) Vector32 {
+	return Vector32(m.Data[r*m.Stride : r*m.Stride+m.Cols])
+}
+
+// PaddedRow returns row r including its padding columns.
+func (m *Matrix32) PaddedRow(r int) Vector32 {
+	return Vector32(m.Data[r*m.Stride : (r+1)*m.Stride])
+}
+
+// Zero resets every element (padding included) to 0 and returns m.
+func (m *Matrix32) Zero() *Matrix32 {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// Matrix32From converts a float64 matrix to float32 with Stride == Cols.
+func Matrix32From(m *Matrix) *Matrix32 {
+	out := NewMatrix32(m.Rows, m.Cols)
+	for i, x := range m.Data {
+		out.Data[i] = float32(x)
+	}
+	return out
+}
+
+// PadTo16 returns n rounded up to the next multiple of 16, the column width
+// of the AVX2 microkernel (with a floor of 16 so a single block always
+// exists).
+func PadTo16(n int) int {
+	if n <= 16 {
+		return 16
+	}
+	return (n + 15) &^ 15
+}
+
+// TransposedPadded32 packs the nn.Linear weight layout (out×in, float64)
+// into the K×Np float32 layout the fused GEMM consumes: row t holds column t
+// of the original weights, i.e. out[t, j] = w[j, t], with Np = PadTo16(out)
+// and zeros in the padding columns.
+func TransposedPadded32(w *Matrix) *Matrix32 {
+	np := PadTo16(w.Rows)
+	out := NewMatrix32Strided(w.Cols, w.Rows, np)
+	for j := 0; j < w.Rows; j++ {
+		row := w.Data[j*w.Cols : (j+1)*w.Cols]
+		for t, x := range row {
+			out.Data[t*np+j] = float32(x)
+		}
+	}
+	return out
+}

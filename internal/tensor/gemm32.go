@@ -1,0 +1,135 @@
+package tensor
+
+import (
+	"fmt"
+	"os"
+)
+
+// Float32 fused GEMM: y = act(x · wt + bias), the per-layer kernel of the
+// compiled inference engine. The weight matrix arrives pre-transposed and
+// column-padded (see TransposedPadded32): wt row t holds the weights of input
+// t across all outputs, padded to a multiple of 16 columns, so the AVX2
+// microkernel can stream 16 outputs per fused multiply-add with no tails.
+//
+// Conventions, enforced by Gemm32BiasActInto:
+//   - x is M×K with any stride
+//   - wt is K×N with Stride = PadTo16-style padded width Np (multiple of 16
+//     for the SIMD path), padding columns zero
+//   - bias has length Np, padding zero
+//   - y is M×N with Stride >= Np; the kernel writes columns [0, Np) of each
+//     row and keeps the padding columns at zero, so Row(i) is the result
+//
+// On amd64 with AVX2+FMA the inner kernel is gemm4x16 (assembly): four input
+// rows against a 16-column weight block, bias preloaded into the
+// accumulators and the activation applied before the store. Everywhere else
+// a 4-way-unrolled pure-Go kernel with identical conventions runs instead.
+
+// Act32 selects the activation fused into the float32 GEMM kernel.
+type Act32 int64
+
+const (
+	// Act32Identity stores the pre-activation unchanged.
+	Act32Identity Act32 = 0
+	// Act32LeakyReLU stores max(v, 0.01*v), matching nn.LeakyReLU.
+	Act32LeakyReLU Act32 = 1
+)
+
+// simdEnabled gates the assembly kernel. It is true when the CPU supports
+// AVX2+FMA and ZEROTUNE_NOSIMD is unset; tests flip it via SetSIMD to
+// compare the two implementations.
+var simdEnabled = hasAVX2FMA && os.Getenv("ZEROTUNE_NOSIMD") == ""
+
+// SIMDEnabled reports whether the assembly GEMM kernel is active.
+func SIMDEnabled() bool { return simdEnabled }
+
+// SetSIMD enables or disables the assembly kernel and returns the previous
+// setting. Enabling is a no-op on hardware without AVX2+FMA. Not safe for
+// concurrent use; intended for tests and benchmarks.
+func SetSIMD(on bool) bool {
+	prev := simdEnabled
+	simdEnabled = on && hasAVX2FMA
+	return prev
+}
+
+// Gemm32BiasActInto computes y = act(x · wt + bias) under the package
+// conventions above. x must not alias y.
+func Gemm32BiasActInto(x, wt *Matrix32, bias Vector32, y *Matrix32, act Act32) {
+	m, k, np := x.Rows, x.Cols, wt.Stride
+	if wt.Rows != k || y.Rows != m || y.Cols != wt.Cols || len(bias) != np || y.Stride < np {
+		panic(fmt.Sprintf("tensor: Gemm32BiasActInto shape mismatch x %dx%d/%d wt %dx%d/%d bias %d y %dx%d/%d",
+			x.Rows, x.Cols, x.Stride, wt.Rows, wt.Cols, wt.Stride, len(bias), y.Rows, y.Cols, y.Stride))
+	}
+	if m == 0 {
+		return
+	}
+	if simdEnabled && np%16 == 0 && k > 0 && m >= 4 {
+		gemm32Asm(x, wt, bias, y, act)
+		return
+	}
+	gemm32Go(x, wt, bias, y, act, 0, m)
+}
+
+// gemm32Asm drives the 4×16 assembly microkernel over all rows and column
+// blocks. The row remainder (m%4 != 0) is handled by re-running the last
+// four rows as one overlapped group: the overlapping rows are recomputed to
+// identical values, so the overlap is harmless and keeps the kernel fixed
+// shape. Requires m >= 4, k >= 1, np%16 == 0.
+func gemm32Asm(x, wt *Matrix32, bias Vector32, y *Matrix32, act Act32) {
+	m, k, np := x.Rows, x.Cols, wt.Stride
+	xs, ys := x.Stride, y.Stride
+	for j := 0; j < np; j += 16 {
+		wtj := &wt.Data[j]
+		bj := &bias[j]
+		for i := 0; i+4 <= m; i += 4 {
+			gemm4x16(
+				&x.Data[i*xs], &x.Data[(i+1)*xs], &x.Data[(i+2)*xs], &x.Data[(i+3)*xs],
+				wtj, bj,
+				&y.Data[i*ys+j], &y.Data[(i+1)*ys+j], &y.Data[(i+2)*ys+j], &y.Data[(i+3)*ys+j],
+				int64(k), int64(np), int64(act))
+		}
+		if r := m % 4; r != 0 {
+			i := m - 4
+			gemm4x16(
+				&x.Data[i*xs], &x.Data[(i+1)*xs], &x.Data[(i+2)*xs], &x.Data[(i+3)*xs],
+				wtj, bj,
+				&y.Data[i*ys+j], &y.Data[(i+1)*ys+j], &y.Data[(i+2)*ys+j], &y.Data[(i+3)*ys+j],
+				int64(k), int64(np), int64(act))
+		}
+	}
+}
+
+// gemm32Go is the portable kernel for rows [i0, i1): bias copy, then one
+// 4-way-unrolled axpy per non-zero input element, then the activation over
+// the padded width (padding is zero-in, zero-out for both activations).
+func gemm32Go(x, wt *Matrix32, bias Vector32, y *Matrix32, act Act32, i0, i1 int) {
+	k, np := x.Cols, wt.Stride
+	for i := i0; i < i1; i++ {
+		xrow := x.Data[i*x.Stride : i*x.Stride+k : i*x.Stride+k]
+		yrow := y.Data[i*y.Stride : i*y.Stride+np : i*y.Stride+np]
+		copy(yrow, bias)
+		for t := 0; t < k; t++ {
+			a := xrow[t]
+			if a == 0 {
+				continue
+			}
+			wrow := wt.Data[t*np : t*np+np : t*np+np]
+			j := 0
+			for ; j+3 < np; j += 4 {
+				yrow[j] += a * wrow[j]
+				yrow[j+1] += a * wrow[j+1]
+				yrow[j+2] += a * wrow[j+2]
+				yrow[j+3] += a * wrow[j+3]
+			}
+			for ; j < np; j++ {
+				yrow[j] += a * wrow[j]
+			}
+		}
+		if act == Act32LeakyReLU {
+			for j, v := range yrow {
+				if s := 0.01 * v; s > v {
+					yrow[j] = s
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// AVX2+FMA microkernel of the float32 fused GEMM: four input rows against a
+// 16-column block of the transposed weight matrix, bias preloaded into the
+// accumulators and the activation applied before the store.
+//
+// func gemm4x16(x0, x1, x2, x3, wt, bias *float32, y0, y1, y2, y3 *float32, k, ldwt, act int64)
+//
+// Computes, for r in 0..3:
+//
+//	yr[0:16] = act(bias[0:16] + sum_{t<k} xr[t] * wt[t*ldwt : t*ldwt+16])
+//
+// wt points at the first column of the 16-wide block inside a row-major K×Np
+// matrix with row stride ldwt (in floats); act 0 = identity, 1 = leaky ReLU
+// max(v, 0.01*v). Register budget: Y0–Y7 accumulators (two per row), Y8–Y11
+// broadcast inputs, Y12–Y13 the weight block, Y14–Y15 bias/activation
+// scratch — all sixteen ymm registers.
+
+#include "textflag.h"
+
+DATA leakyAlpha32<>+0(SB)/4, $0x3c23d70a // float32(0.01)
+GLOBL leakyAlpha32<>(SB), RODATA, $4
+
+TEXT ·gemm4x16(SB), NOSPLIT, $0-104
+	MOVQ x0+0(FP), R8
+	MOVQ x1+8(FP), R9
+	MOVQ x2+16(FP), R10
+	MOVQ x3+24(FP), R11
+	MOVQ wt+32(FP), DI
+	MOVQ bias+40(FP), SI
+	MOVQ k+80(FP), CX
+	MOVQ ldwt+88(FP), DX
+	SHLQ $2, DX                  // weight row stride in bytes
+
+	// Accumulators start at the bias block.
+	VMOVUPS (SI), Y14
+	VMOVUPS 32(SI), Y15
+	VMOVAPS Y14, Y0
+	VMOVAPS Y15, Y1
+	VMOVAPS Y14, Y2
+	VMOVAPS Y15, Y3
+	VMOVAPS Y14, Y4
+	VMOVAPS Y15, Y5
+	VMOVAPS Y14, Y6
+	VMOVAPS Y15, Y7
+
+	XORQ AX, AX                  // byte offset into the x rows
+
+loop:
+	TESTQ CX, CX
+	JZ    done
+	VMOVUPS (DI), Y12            // wt[t, 0:8]
+	VMOVUPS 32(DI), Y13          // wt[t, 8:16]
+	VBROADCASTSS (R8)(AX*1), Y8
+	VBROADCASTSS (R9)(AX*1), Y9
+	VBROADCASTSS (R10)(AX*1), Y10
+	VBROADCASTSS (R11)(AX*1), Y11
+	VFMADD231PS Y12, Y8, Y0
+	VFMADD231PS Y13, Y8, Y1
+	VFMADD231PS Y12, Y9, Y2
+	VFMADD231PS Y13, Y9, Y3
+	VFMADD231PS Y12, Y10, Y4
+	VFMADD231PS Y13, Y10, Y5
+	VFMADD231PS Y12, Y11, Y6
+	VFMADD231PS Y13, Y11, Y7
+	ADDQ $4, AX
+	ADDQ DX, DI
+	DECQ CX
+	JMP  loop
+
+done:
+	MOVQ act+96(FP), AX
+	CMPQ AX, $1
+	JNE  store
+
+	// Leaky ReLU: v = max(v, 0.01*v).
+	VBROADCASTSS leakyAlpha32<>(SB), Y14
+	VMULPS Y14, Y0, Y15
+	VMAXPS Y15, Y0, Y0
+	VMULPS Y14, Y1, Y15
+	VMAXPS Y15, Y1, Y1
+	VMULPS Y14, Y2, Y15
+	VMAXPS Y15, Y2, Y2
+	VMULPS Y14, Y3, Y15
+	VMAXPS Y15, Y3, Y3
+	VMULPS Y14, Y4, Y15
+	VMAXPS Y15, Y4, Y4
+	VMULPS Y14, Y5, Y15
+	VMAXPS Y15, Y5, Y5
+	VMULPS Y14, Y6, Y15
+	VMAXPS Y15, Y6, Y6
+	VMULPS Y14, Y7, Y15
+	VMAXPS Y15, Y7, Y7
+
+store:
+	// The x-row registers are dead after the loop; reuse them for the y rows
+	// so the kernel stays off R12–R15 (reserved in some build modes).
+	MOVQ y0+48(FP), R8
+	MOVQ y1+56(FP), R9
+	MOVQ y2+64(FP), R10
+	MOVQ y3+72(FP), R11
+	VMOVUPS Y0, (R8)
+	VMOVUPS Y1, 32(R8)
+	VMOVUPS Y2, (R9)
+	VMOVUPS Y3, 32(R9)
+	VMOVUPS Y4, (R10)
+	VMOVUPS Y5, 32(R10)
+	VMOVUPS Y6, (R11)
+	VMOVUPS Y7, 32(R11)
+	VZEROUPPER
+	RET

@@ -1,0 +1,10 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 targets run the portable kernel only.
+var hasAVX2FMA = false
+
+func gemm4x16(x0, x1, x2, x3, wt, bias *float32, y0, y1, y2, y3 *float32, k, ldwt, act int64) {
+	panic("tensor: gemm4x16 called without AVX2 support")
+}

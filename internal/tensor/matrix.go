@@ -90,8 +90,9 @@ func (m *Matrix) MulVec(v, out Vector) Vector {
 	mustSameLen(len(v), m.Cols)
 	mustSameLen(len(out), m.Rows)
 	n := m.Cols
+	v = v[:n] // bounds-check elimination: inner loops index v[c..c+3] with c+3 < n
 	for r := 0; r < m.Rows; r++ {
-		row := m.Data[r*n : (r+1)*n]
+		row := m.Data[r*n : r*n+n : r*n+n]
 		var s0, s1, s2, s3 float64
 		c := 0
 		for ; c+3 < n; c += 4 {
@@ -108,6 +109,34 @@ func (m *Matrix) MulVec(v, out Vector) Vector {
 	return out
 }
 
+// MulVecAddBias computes out = m · v + b in one pass. It is bit-identical to
+// m.MulVec(v, out) followed by out.AddInPlace(b): each dot product uses the
+// same 4-way unrolled accumulation and the bias is added last as a single
+// final term. out must not alias v or b.
+func (m *Matrix) MulVecAddBias(v, b, out Vector) Vector {
+	mustSameLen(len(v), m.Cols)
+	mustSameLen(len(b), m.Rows)
+	mustSameLen(len(out), m.Rows)
+	n := m.Cols
+	v = v[:n]
+	for r := 0; r < m.Rows; r++ {
+		row := m.Data[r*n : r*n+n : r*n+n]
+		var s0, s1, s2, s3 float64
+		c := 0
+		for ; c+3 < n; c += 4 {
+			s0 += row[c] * v[c]
+			s1 += row[c+1] * v[c+1]
+			s2 += row[c+2] * v[c+2]
+			s3 += row[c+3] * v[c+3]
+		}
+		for ; c < n; c++ {
+			s0 += row[c] * v[c]
+		}
+		out[r] = ((s0 + s1) + (s2 + s3)) + b[r]
+	}
+	return out
+}
+
 // MulVecT computes out = mᵀ · v, i.e. out[c] = Σ_r m[r,c]·v[r]. out must have
 // length m.Cols and v length m.Rows. out must not alias v.
 func (m *Matrix) MulVecT(v, out Vector) Vector {
@@ -115,12 +144,13 @@ func (m *Matrix) MulVecT(v, out Vector) Vector {
 	mustSameLen(len(out), m.Cols)
 	out.Zero()
 	n := m.Cols
+	out = out[:n] // bounds-check elimination for the unrolled column loop
 	for r := 0; r < m.Rows; r++ {
 		vr := v[r]
 		if vr == 0 {
 			continue
 		}
-		row := m.Data[r*n : (r+1)*n]
+		row := m.Data[r*n : r*n+n : r*n+n]
 		c := 0
 		for ; c+3 < n; c += 4 {
 			out[c] += row[c] * vr

@@ -61,9 +61,22 @@ func (v Vector) ScaleInPlace(a float64) Vector {
 }
 
 // AxpyInPlace performs v += a*w. Lengths must match.
+//
+// The loop is 4-way unrolled with a bounds-check-elimination preload; because
+// every element is independent, the result is exactly the element-wise
+// `v[i] += a*w[i]` of the naive loop.
 func (v Vector) AxpyInPlace(a float64, w Vector) Vector {
 	mustSameLen(len(v), len(w))
-	for i := range v {
+	n := len(v)
+	w = w[:n] // bounds-check elimination: w indexed with the same i as v
+	i := 0
+	for ; i+3 < n; i += 4 {
+		v[i] += a * w[i]
+		v[i+1] += a * w[i+1]
+		v[i+2] += a * w[i+2]
+		v[i+3] += a * w[i+3]
+	}
+	for ; i < n; i++ {
 		v[i] += a * w[i]
 	}
 	return v
