@@ -9,6 +9,7 @@
 //	zerotune predict    -model model.json -query spike-detection -rate 10000 [-workers 4] [-degree 4]
 //	zerotune tune       -model model.json -query 3-way-join -rate 100000 [-workers 6] [-weight 0.5]
 //	zerotune serve      -model model.json -addr 127.0.0.1:8080 [-batch-window 2ms] [-batch-max 64] [-cache-size 4096] [-request-timeout 30s]
+//	zerotune gateway    -addr 127.0.0.1:8090 {-backends http://h1:p1,http://h2:p2 | -replicas 3 -model model.json} [-route affinity] [-queue-policy fcfs] [-slo gold=200:400:10,bronze=50]
 //	zerotune chaos      -model model.json [-seed 1] [-requests 120] [-log events.log] [-circuit-threshold 3] [-probe-every 4]
 //	zerotune simulate   -query linear -rate 100000 [-workers 4] [-degrees 1,4,4,1 | -plan plan.json]
 //	zerotune validate   -query linear -rate 5000 [-workers 2] [-duration 5000]
@@ -53,6 +54,8 @@ func main() {
 		err = runTune(os.Args[2:])
 	case "serve":
 		err = runServe(os.Args[2:])
+	case "gateway":
+		err = runGateway(os.Args[2:])
 	case "chaos":
 		err = runChaos(os.Args[2:])
 	case "simulate":
@@ -83,6 +86,7 @@ commands:
   predict     predict latency/throughput for a benchmark query
   tune        recommend parallelism degrees for a query
   serve       expose predict/tune over HTTP with micro-batching and caching
+  gateway     front N serve replicas with routing, SLO admission and health probing
   chaos       replay a seeded fault schedule against an in-process server
   simulate    run the ground-truth engine on one plan and print its costs
   validate    cross-check the analytical engine against the event simulator

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,15 +49,26 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "serving model %s (%s) on http://%s\n", entry.ID, *model, *addr)
+	// Bind before announcing: with -addr :0 the kernel picks the port, and
+	// both the stdout line and /healthz report the resolved address, so
+	// tests and a fronting gateway can spawn replicas on ephemeral ports
+	// without a bind race.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", *addr, err)
+	}
+	bound := ln.Addr().String()
+	s.SetBoundAddr(bound)
+	fmt.Printf("zerotune serve: listening on http://%s\n", bound)
+	fmt.Fprintf(os.Stderr, "serving model %s (%s) on http://%s\n", entry.ID, *model, bound)
 	if *debug {
 		fmt.Fprintf(os.Stderr, "debug endpoints enabled: /debug/traces, /debug/pprof/\n")
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s}
+	srv := &http.Server{Handler: s}
 	errCh := make(chan error, 1)
 	go func() {
-		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		if err := srv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
 			errCh <- err
 		}
 	}()

@@ -41,6 +41,15 @@ const (
 	CacheAcquire = "cache.acquire"
 	// CheckpointWrite fires before a training checkpoint is persisted.
 	CheckpointWrite = "checkpoint.write"
+	// GatewayRoute fires after the gateway picks a replica, before the
+	// request is forwarded — an injected error counts as a replica failure,
+	// so routing retries and consecutive-failure ejection are chaos-testable
+	// without killing real backends.
+	GatewayRoute = "gateway.route"
+	// GatewayProbe fires before each per-replica health probe of the
+	// gateway's pool, letting a seeded storm eject and rejoin replicas
+	// deterministically.
+	GatewayProbe = "gateway.probe"
 )
 
 // Mode selects what an injected fault does to the caller.

@@ -1,0 +1,158 @@
+package gateway
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"zerotune/internal/obs"
+)
+
+// SLOClassHeader is the request header declaring the caller's SLO class.
+// Requests without it (or naming an unconfigured class) are treated as the
+// default best-effort class.
+const SLOClassHeader = "X-SLO-Class"
+
+// DefaultClassName is the class unlabelled traffic belongs to.
+const DefaultClassName = "best-effort"
+
+// ClassConfig describes one SLO class: its admission budget (a token
+// bucket) and its standing in the priority queue policy.
+type ClassConfig struct {
+	Name string
+	// Rate is the sustained admission budget in requests/second. Zero or
+	// negative means unlimited — the class is never admission-rejected.
+	Rate float64
+	// Burst is the bucket capacity: how many requests above the sustained
+	// rate a quiet class may fire at once. Defaults to max(Rate, 1).
+	Burst float64
+	// Priority orders classes in the "priority" queue policy; higher is
+	// served first. Ties fall back to arrival order.
+	Priority int
+}
+
+// DefaultClasses is the zero-config class set: one unlimited best-effort
+// class, so a gateway without -slo flags admits everything.
+func DefaultClasses() []ClassConfig {
+	return []ClassConfig{{Name: DefaultClassName}}
+}
+
+// classState is one class's bucket plus its instruments.
+type classState struct {
+	cfg ClassConfig
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+
+	admitted  *obs.Counter
+	rejected  *obs.Counter
+	goodput   *obs.Counter // 2xx responses delivered to this class
+	queueWait *obs.Histogram
+}
+
+// allow takes one token if the bucket has it, refilling by elapsed time
+// first. Unlimited classes always admit.
+func (c *classState) allow(now time.Time) bool {
+	if c.cfg.Rate <= 0 {
+		return true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.last.IsZero() {
+		c.tokens += now.Sub(c.last).Seconds() * c.cfg.Rate
+		if c.tokens > c.cfg.Burst {
+			c.tokens = c.cfg.Burst
+		}
+	}
+	c.last = now
+	if c.tokens < 1 {
+		return false
+	}
+	c.tokens--
+	return true
+}
+
+// admission holds the per-class token buckets, keyed by the SLO class
+// header. The clock is injectable so tests drive refill deterministically.
+type admission struct {
+	now     func() time.Time
+	classes map[string]*classState
+	ordered []*classState // configuration order, for fairness + summaries
+	def     *classState
+}
+
+// newAdmission validates and registers the class set. The default class is
+// appended when absent so unlabelled traffic always has a home.
+func newAdmission(classes []ClassConfig, now func() time.Time, reg *obs.Registry) (*admission, error) {
+	if len(classes) == 0 {
+		classes = DefaultClasses()
+	}
+	a := &admission{now: now, classes: make(map[string]*classState, len(classes)+1)}
+	add := func(cfg ClassConfig) error {
+		if cfg.Name == "" {
+			return fmt.Errorf("gateway: SLO class with empty name")
+		}
+		if _, dup := a.classes[cfg.Name]; dup {
+			return fmt.Errorf("gateway: duplicate SLO class %q", cfg.Name)
+		}
+		if cfg.Rate > 0 && cfg.Burst < 1 {
+			cfg.Burst = cfg.Rate
+			if cfg.Burst < 1 {
+				cfg.Burst = 1
+			}
+		}
+		l := obs.L("class", cfg.Name)
+		c := &classState{
+			cfg:       cfg,
+			tokens:    cfg.Burst,
+			admitted:  reg.Counter("zerotune_gateway_class_admitted_total", l),
+			rejected:  reg.Counter("zerotune_gateway_class_rejected_total", l),
+			goodput:   reg.Counter("zerotune_gateway_class_goodput_total", l),
+			queueWait: reg.Histogram("zerotune_gateway_queue_wait_seconds", latencyBounds, 1024, l),
+		}
+		a.classes[cfg.Name] = c
+		a.ordered = append(a.ordered, c)
+		return nil
+	}
+	for _, cfg := range classes {
+		if err := add(cfg); err != nil {
+			return nil, err
+		}
+	}
+	if _, ok := a.classes[DefaultClassName]; !ok {
+		if err := add(ClassConfig{Name: DefaultClassName}); err != nil {
+			return nil, err
+		}
+	}
+	a.def = a.classes[DefaultClassName]
+	return a, nil
+}
+
+// class resolves a header value to its class, defaulting unknown and empty
+// names to best-effort rather than rejecting them — an unrecognized label is
+// a client with no contract, not an error.
+func (a *admission) class(name string) *classState {
+	if c, ok := a.classes[name]; ok {
+		return c
+	}
+	return a.def
+}
+
+// jainFairness computes Jain's fairness index J = (Σx)² / (n·Σx²) over the
+// per-class goodput counters: 1.0 when every class receives identical
+// goodput, approaching 1/n as one class monopolizes the gateway. Classes
+// are weighted equally — the index is a detector for starvation introduced
+// by admission or priority configuration, exported as a gauge on /metrics.
+func (a *admission) jainFairness() float64 {
+	var sum, sumSq float64
+	for _, c := range a.ordered {
+		x := float64(c.goodput.Load())
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1 // no traffic: trivially fair
+	}
+	return sum * sum / (float64(len(a.ordered)) * sumSq)
+}

@@ -1,0 +1,533 @@
+// Package gateway is the scale-out serving tier: one endpoint surface
+// (/v1/predict, /v1/tune, /healthz, /metrics) fronting N serve replicas —
+// in-process backends for tests and single-binary deployments, HTTP
+// backends for real clusters.
+//
+// The request path composes four stages, each independently configurable:
+//
+//  1. Admission: a token bucket per SLO class (declared via the X-SLO-Class
+//     header, default best-effort) rejects over-rate classes with the
+//     stable 429 envelope before they consume any gateway resources.
+//  2. Queueing: admitted requests take a bounded dispatch slot, parking in
+//     fcfs, class-priority, or shortest-job-first order when the replicas
+//     are saturated.
+//  3. Routing: a pluggable policy — round-robin, least-loaded
+//     (outstanding-request EWMA), or plan-fingerprint affinity (rendezvous
+//     hashing, so each replica's plan and body caches shard naturally) —
+//     picks a healthy replica; transport failures retry on the next-best
+//     replica and feed consecutive-failure ejection.
+//  4. Forwarding: the raw body is proxied; replica responses, including
+//     error envelopes, pass through byte-for-byte with an X-Gateway-Replica
+//     header naming the backend that answered.
+//
+// Health is active and passive: a probe loop ejects replicas that fail
+// consecutively (probes or forwards) and readmits them after a seeded
+// jittered backoff, with every probabilistic decision drawn from the
+// fault package's deterministic uniform stream. The gateway.route and
+// gateway.probe injection points make replica loss and rebalancing
+// chaos-testable with byte-stable event logs.
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zerotune/internal/fault"
+	"zerotune/internal/obs"
+	"zerotune/internal/serve"
+)
+
+// latencyBounds are the histogram bucket edges (seconds) shared by the
+// gateway's latency instruments — same shape as serve's, so dashboards can
+// overlay the two tiers.
+var latencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// maxBodyBytes mirrors serve's request-body bound.
+const maxBodyBytes = 8 << 20
+
+// endpointNames fixes the per-endpoint stat keys and render order.
+var endpointNames = []string{"predict", "tune", "healthz", "metrics"}
+
+// Options configures a Gateway.
+type Options struct {
+	// Route selects the routing policy (default affinity).
+	Route RoutePolicy
+	// Queue selects the dispatch-queue ordering (default fcfs).
+	Queue QueuePolicy
+	// QueueDepth bounds how many admitted requests may park waiting for a
+	// dispatch slot (default 256); beyond it requests get 429 queue_full.
+	QueueDepth int
+	// MaxConcurrent bounds forwards in flight across all replicas
+	// (default 8 × replicas).
+	MaxConcurrent int
+	// Classes is the SLO class set (default: one unlimited best-effort
+	// class). The best-effort class is appended when absent.
+	Classes []ClassConfig
+	// FailThreshold ejects a replica after this many consecutive
+	// transport/probe failures (default 3).
+	FailThreshold int
+	// ProbeInterval is the background health-probe period (default 1s).
+	// Negative disables the loop — tests drive Pool().Probe directly for
+	// determinism.
+	ProbeInterval time.Duration
+	// ForwardRetries is how many additional replicas a request tries after
+	// a transport failure (default 2, capped at the replica count).
+	ForwardRetries int
+	// RequestTimeout bounds each forward attempt (default 30s; negative
+	// disables).
+	RequestTimeout time.Duration
+	// Seed drives every probabilistic health decision (rejoin backoff
+	// jitter); same seed + same failure sequence = same transitions.
+	Seed uint64
+	// Registry receives the gateway metrics (private when nil).
+	Registry *obs.Registry
+	// Now is the admission clock (default time.Now); injectable for
+	// deterministic token-bucket tests.
+	Now func() time.Time
+}
+
+func (o Options) withDefaults(replicas int) Options {
+	if o.Route == "" {
+		o.Route = RouteAffinity
+	}
+	if o.QueueDepth < 1 {
+		o.QueueDepth = 256
+	}
+	if o.MaxConcurrent < 1 {
+		o.MaxConcurrent = 8 * replicas
+	}
+	if o.FailThreshold < 1 {
+		o.FailThreshold = 3
+	}
+	if o.ProbeInterval == 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ForwardRetries < 0 {
+		o.ForwardRetries = 0
+	} else if o.ForwardRetries == 0 {
+		o.ForwardRetries = 2
+	}
+	if o.ForwardRetries > replicas-1 {
+		o.ForwardRetries = replicas - 1
+	}
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	} else if o.RequestTimeout < 0 {
+		o.RequestTimeout = 0
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// endpointStats counts one gateway endpoint.
+type endpointStats struct {
+	requests *obs.Counter
+	errors   *obs.Counter
+	latency  *obs.Histogram
+}
+
+// Gateway fronts a replica pool behind one HTTP surface.
+type Gateway struct {
+	opts   Options
+	reg    *obs.Registry
+	pool   *Pool
+	router router
+	adm    *admission
+	queue  *dispatchQueue
+	mux    *http.ServeMux
+
+	endpoints map[string]*endpointStats
+	spillover *obs.Counter
+	routed    map[string]*obs.Counter // per-replica routing decisions
+	retries   *obs.Counter
+
+	start     time.Time
+	boundAddr atomic.Pointer[string]
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	probes   sync.WaitGroup
+}
+
+// New builds a gateway over the given replicas. Backend names must be
+// unique — affinity hashes them and metrics label by them.
+func New(backends []serve.Backend, opts Options) (*Gateway, error) {
+	if len(backends) == 0 {
+		return nil, errors.New("gateway: no backends")
+	}
+	if len(backends) > 64 {
+		return nil, fmt.Errorf("gateway: %d backends exceeds the 64-replica pool bound", len(backends))
+	}
+	seen := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		if b.Name() == "" {
+			return nil, errors.New("gateway: backend with empty name")
+		}
+		if seen[b.Name()] {
+			return nil, fmt.Errorf("gateway: duplicate backend name %q", b.Name())
+		}
+		seen[b.Name()] = true
+	}
+	opts = opts.withDefaults(len(backends))
+	rt, err := newRouter(opts.Route)
+	if err != nil {
+		return nil, err
+	}
+	qp, err := queuePolicy(opts.Queue)
+	if err != nil {
+		return nil, err
+	}
+	opts.Queue = qp
+	reg := opts.Registry
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	adm, err := newAdmission(opts.Classes, opts.Now, reg)
+	if err != nil {
+		return nil, err
+	}
+	g := &Gateway{
+		opts:      opts,
+		reg:       reg,
+		pool:      newPool(backends, opts.Seed, opts.FailThreshold, reg),
+		router:    rt,
+		adm:       adm,
+		queue:     newDispatchQueue(qp, opts.MaxConcurrent, opts.QueueDepth),
+		mux:       http.NewServeMux(),
+		endpoints: make(map[string]*endpointStats, len(endpointNames)),
+		spillover: reg.Counter("zerotune_gateway_spillover_total"),
+		retries:   reg.Counter("zerotune_gateway_forward_retries_total"),
+		routed:    make(map[string]*obs.Counter, len(backends)),
+		start:     time.Now(),
+		stop:      make(chan struct{}),
+	}
+	for _, name := range endpointNames {
+		l := obs.L("endpoint", name)
+		g.endpoints[name] = &endpointStats{
+			requests: reg.Counter("zerotune_gateway_requests_total", l),
+			errors:   reg.Counter("zerotune_gateway_request_errors_total", l),
+			latency:  reg.Histogram("zerotune_gateway_request_duration_seconds", latencyBounds, 1024, l),
+		}
+	}
+	for _, r := range g.pool.Replicas() {
+		g.routed[r.Name()] = reg.Counter("zerotune_gateway_route_decisions_total",
+			obs.L("policy", string(rt.policy())), obs.L("replica", r.Name()))
+	}
+	reg.GaugeFunc("zerotune_gateway_fairness_jain", g.adm.jainFairness)
+	reg.GaugeFunc("zerotune_gateway_queue_depth", func() float64 { return float64(g.queue.depth()) })
+	reg.GaugeFunc("zerotune_gateway_replicas_healthy", func() float64 { return float64(g.pool.HealthyCount()) })
+	reg.GaugeFunc("zerotune_gateway_uptime_seconds", func() float64 { return time.Since(g.start).Seconds() })
+
+	g.mux.HandleFunc("POST /v1/predict", g.instrument("predict", g.proxyHandler("predict")))
+	g.mux.HandleFunc("POST /v1/tune", g.instrument("tune", g.proxyHandler("tune")))
+	g.mux.HandleFunc("GET /healthz", g.instrument("healthz", g.handleHealthz))
+	g.mux.HandleFunc("GET /metrics", g.instrument("metrics", g.handleMetrics))
+	return g, nil
+}
+
+// Start launches the background probe loop (no-op when ProbeInterval < 0).
+func (g *Gateway) Start() {
+	if g.opts.ProbeInterval <= 0 {
+		return
+	}
+	g.probes.Add(1)
+	go func() {
+		defer g.probes.Done()
+		t := time.NewTicker(g.opts.ProbeInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-g.stop:
+				return
+			case <-t.C:
+				ctx, cancel := forwardContext(context.Background(), g.opts.RequestTimeout)
+				g.pool.Probe(ctx)
+				cancel()
+			}
+		}
+	}()
+}
+
+// Close stops the probe loop. In-flight requests are the HTTP server's to
+// drain; the gateway holds no request state of its own.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	g.probes.Wait()
+}
+
+// Pool exposes the replica pool (tests drive probes through it).
+func (g *Gateway) Pool() *Pool { return g.pool }
+
+// Metrics returns the gateway's metrics registry.
+func (g *Gateway) Metrics() *obs.Registry { return g.reg }
+
+// SetBoundAddr records the gateway's own listener address for /healthz.
+func (g *Gateway) SetBoundAddr(addr string) { g.boundAddr.Store(&addr) }
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) { g.mux.ServeHTTP(w, r) }
+
+// statusWriter remembers the response code for error counting.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with request/error/latency accounting.
+func (g *Gateway) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := g.endpoints[name]
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		ep.requests.Inc()
+		if sw.status >= 400 {
+			ep.errors.Inc()
+		}
+		ep.latency.Observe(time.Since(start).Seconds())
+	}
+}
+
+// forwardContext bounds one forward attempt; a non-positive timeout means
+// no per-attempt deadline beyond the parent's.
+func forwardContext(parent context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// fingerprintBody is FNV-1a over the raw request bytes — the affinity key.
+// Byte-identical requests (the replica body cache's unit of sharing) always
+// route together; semantically-identical-but-differently-encoded requests
+// still coalesce inside whichever replica owns each encoding.
+func fingerprintBody(body []byte) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write(body)
+	return h.Sum64()
+}
+
+// proxyHandler builds the forwarding handler for one /v1 endpoint.
+func (g *Gateway) proxyHandler(endpoint string) http.HandlerFunc {
+	path := "/v1/" + endpoint
+	return func(w http.ResponseWriter, r *http.Request) {
+		ctx := r.Context()
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("gateway: read request: %w", err))
+			return
+		}
+
+		// Stage 1: admission.
+		cls := g.adm.class(r.Header.Get(SLOClassHeader))
+		if !cls.allow(g.opts.Now()) {
+			cls.rejected.Inc()
+			writeError(w, http.StatusTooManyRequests, ErrAdmissionRejected)
+			return
+		}
+		cls.admitted.Inc()
+
+		// Stage 2: a dispatch slot, in queue-policy order.
+		enq := time.Now()
+		if err := g.queue.acquire(ctx, cls.cfg.Priority, len(body)); err != nil {
+			switch {
+			case errors.Is(err, errGatewayQueueFull):
+				writeError(w, http.StatusTooManyRequests, err)
+			case errors.Is(err, context.Canceled):
+				writeError(w, statusClientClosedRequest, err)
+			default:
+				writeError(w, http.StatusServiceUnavailable, err)
+			}
+			return
+		}
+		defer g.queue.release()
+		cls.queueWait.Observe(time.Since(enq).Seconds())
+
+		// Stages 3+4: route and forward, retrying transport failures on the
+		// next-best replica.
+		key := fingerprintBody(body)
+		replicas := g.pool.Replicas()
+		var tried uint64
+		var lastErr error
+		for attempt := 0; attempt <= g.opts.ForwardRetries; attempt++ {
+			rep, spill := g.router.pick(replicas, key, tried)
+			if rep == nil {
+				break
+			}
+			tried |= 1 << uint(rep.idx)
+			if attempt > 0 {
+				g.retries.Inc()
+			}
+			if spill {
+				g.spillover.Inc()
+			}
+			g.routed[rep.Name()].Inc()
+			if err := fault.Inject(fault.GatewayRoute); err != nil {
+				g.pool.recordFailure(rep)
+				lastErr = err
+				continue
+			}
+			rep.requests.Inc()
+			rep.noteDispatch()
+			fctx, cancel := forwardContext(ctx, g.opts.RequestTimeout)
+			fstart := time.Now()
+			status, resp, err := rep.backend.Call(fctx, path, body)
+			cancel()
+			rep.noteDone()
+			rep.forwardS.Observe(time.Since(fstart).Seconds())
+			if err != nil {
+				// Transport failure: the replica never answered. Feed
+				// ejection and try the next-best replica — unless the client
+				// itself is gone.
+				g.pool.recordFailure(rep)
+				lastErr = err
+				if ctx.Err() != nil {
+					break
+				}
+				continue
+			}
+			g.pool.recordSuccess(rep)
+			if status >= 200 && status < 300 {
+				cls.goodput.Inc()
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("X-Gateway-Replica", rep.Name())
+			w.WriteHeader(status)
+			_, _ = w.Write(resp)
+			return
+		}
+
+		switch {
+		case ctx.Err() != nil && errors.Is(ctx.Err(), context.Canceled):
+			writeError(w, statusClientClosedRequest, context.Canceled)
+		case lastErr == nil:
+			writeError(w, http.StatusServiceUnavailable, ErrNoReplica)
+		default:
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("%w: %w", ErrBackendUnavailable, lastErr))
+		}
+	}
+}
+
+// HealthResponse is the gateway's /healthz payload.
+type HealthResponse struct {
+	// Status is "ok" (all healthy), "degraded" (some ejected) or
+	// "unavailable" (nothing routable; served as 503).
+	Status string `json:"status"`
+	// Addr is the gateway's own bound listener address, when recorded.
+	Addr     string          `json:"addr,omitempty"`
+	Route    string          `json:"route"`
+	Queue    string          `json:"queue"`
+	Replicas []ReplicaHealth `json:"replicas"`
+}
+
+// ReplicaHealth is one pool member's health view.
+type ReplicaHealth struct {
+	Name        string  `json:"name"`
+	State       string  `json:"state"` // "healthy" | "ejected"
+	Outstanding int64   `json:"outstanding"`
+	LoadEWMA    float64 `json:"load_ewma"`
+	Ejections   uint64  `json:"ejections"`
+	Rejoins     uint64  `json:"rejoins"`
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	resp := HealthResponse{
+		Route: string(g.router.policy()),
+		Queue: string(g.opts.Queue),
+	}
+	if p := g.boundAddr.Load(); p != nil {
+		resp.Addr = *p
+	}
+	healthy := 0
+	for _, rep := range g.pool.Replicas() {
+		state := "ejected"
+		if rep.Healthy() {
+			state = "healthy"
+			healthy++
+		}
+		resp.Replicas = append(resp.Replicas, ReplicaHealth{
+			Name:        rep.Name(),
+			State:       state,
+			Outstanding: rep.Outstanding(),
+			LoadEWMA:    rep.Load(),
+			Ejections:   rep.ejections.Load(),
+			Rejoins:     rep.rejoins.Load(),
+		})
+	}
+	status := http.StatusOK
+	switch {
+	case healthy == 0:
+		resp.Status = "unavailable"
+		status = http.StatusServiceUnavailable
+	case healthy < len(resp.Replicas):
+		resp.Status = "degraded"
+	default:
+		resp.Status = "ok"
+	}
+	writeJSON(w, status, resp)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_ = g.reg.WritePrometheus(w)
+}
+
+// writeJSON writes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// Summary renders the shutdown digest: per-endpoint traffic, per-class
+// admission/goodput, per-replica routing and health transitions, and the
+// final fairness index.
+func (g *Gateway) Summary() string {
+	var b []byte
+	w := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
+	w("gateway: uptime %s, %d/%d replicas healthy, route=%s queue=%s\n",
+		time.Since(g.start).Round(time.Millisecond), g.pool.HealthyCount(),
+		len(g.pool.Replicas()), g.router.policy(), g.opts.Queue)
+	for _, name := range endpointNames {
+		ep := g.endpoints[name]
+		if n := ep.requests.Load(); n > 0 {
+			w("gateway: %-8s %6d requests, %d errors\n", name, n, ep.errors.Load())
+		}
+	}
+	for _, c := range g.adm.ordered {
+		w("gateway: class %-12s admitted=%d rejected=%d goodput=%d\n",
+			c.cfg.Name, c.admitted.Load(), c.rejected.Load(), c.goodput.Load())
+	}
+	for _, r := range g.pool.Replicas() {
+		w("gateway: replica %-12s routed=%d failures=%d ejections=%d rejoins=%d\n",
+			r.Name(), g.routed[r.Name()].Load(), r.failures.Load(),
+			r.ejections.Load(), r.rejoins.Load())
+	}
+	w("gateway: spillovers=%d retries=%d fairness=%.3f", g.spillover.Load(),
+		g.retries.Load(), g.adm.jainFairness())
+	return string(b)
+}

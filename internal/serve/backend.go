@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync/atomic"
+)
+
+// Backend is the surface a fronting tier (the gateway) needs from one serve
+// replica: a stable identity, request forwarding, and nothing else — health
+// probing rides the same Call path against /healthz. Two implementations
+// exist: InProcessBackend wraps a *Server directly (tests, benchmarks,
+// single-binary deployments) and the gateway package's HTTPBackend dials a
+// remote replica.
+type Backend interface {
+	// Name identifies the replica. Names must be unique within a pool:
+	// affinity routing rendezvous-hashes them, and the pool's metrics label
+	// series by them.
+	Name() string
+	// Call sends body to the replica endpoint at path ("/v1/predict",
+	// "/healthz", ...) and returns the HTTP status and response payload.
+	// Transport-level failures — the replica process is gone, the
+	// connection died — surface as err; application-level failures are a
+	// non-2xx status wearing the stable error envelope, with err nil.
+	Call(ctx context.Context, path string, body []byte) (status int, resp []byte, err error)
+}
+
+// InProcessBackend adapts a *Server to the Backend interface by driving its
+// handler directly — no sockets, no serialization beyond the body bytes the
+// caller already holds. SetDown simulates a hard replica loss (SIGKILL): every
+// Call fails at the transport level until the backend is brought back up,
+// which is what lets tests and benchmarks exercise ejection, rerouting and
+// rejoin deterministically inside one process.
+type InProcessBackend struct {
+	name string
+	srv  *Server
+	down atomic.Bool
+}
+
+// NewInProcessBackend wraps srv as a named replica.
+func NewInProcessBackend(name string, srv *Server) *InProcessBackend {
+	return &InProcessBackend{name: name, srv: srv}
+}
+
+// Name implements Backend.
+func (b *InProcessBackend) Name() string { return b.name }
+
+// Server returns the wrapped server (tests reach through to install models).
+func (b *InProcessBackend) Server() *Server { return b.srv }
+
+// SetDown toggles simulated replica loss: while down, every Call returns a
+// transport error without touching the server, exactly like a connection
+// refused from a killed process.
+func (b *InProcessBackend) SetDown(down bool) { b.down.Store(down) }
+
+// backendRecorder captures a handler's response without net/http/httptest
+// (which is test-flavored and allocates more than this hot path wants).
+type backendRecorder struct {
+	h      http.Header
+	status int
+	buf    bytes.Buffer
+}
+
+func (w *backendRecorder) Header() http.Header { return w.h }
+func (w *backendRecorder) WriteHeader(c int)   { w.status = c }
+func (w *backendRecorder) Write(p []byte) (int, error) {
+	return w.buf.Write(p)
+}
+
+// Call implements Backend by synchronously running the server's handler.
+func (b *InProcessBackend) Call(ctx context.Context, path string, body []byte) (int, []byte, error) {
+	if b.down.Load() {
+		return 0, nil, fmt.Errorf("serve: backend %s is down", b.name)
+	}
+	method := http.MethodGet
+	if strings.HasPrefix(path, "/v1/") {
+		method = http.MethodPost
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://"+b.name+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, fmt.Errorf("serve: backend %s: %w", b.name, err)
+	}
+	w := &backendRecorder{h: make(http.Header), status: http.StatusOK}
+	b.srv.ServeHTTP(w, req)
+	return w.status, append([]byte(nil), w.buf.Bytes()...), nil
+}

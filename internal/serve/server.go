@@ -37,6 +37,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"zerotune/internal/cluster"
@@ -140,6 +141,11 @@ type Server struct {
 	breaker  *breaker
 	tracer   *obs.Tracer
 	mux      *http.ServeMux
+	// boundAddr is the listener address actually serving this server, set by
+	// the cmd layer once the listener is bound. With -addr :0 the kernel
+	// picks the port, and /healthz is where tests and a fronting gateway
+	// read it back without parsing logs.
+	boundAddr atomic.Pointer[string]
 }
 
 // New builds a server around an empty registry; install a model with
@@ -162,7 +168,7 @@ func New(opts Options) *Server {
 	}
 	s.reg.SetCompile(opts.Compiled)
 	s.resp = newRespCache(opts.CacheSize)
-	s.respHits = reg.Counter("zerotune_body_cache_hits_total")
+	s.respHits = reg.Counter("zerotune_respcache_body_hits_total")
 	s.bodyBufs.New = func() any { b := make([]byte, 0, 4096); return &b }
 	s.cache = NewCacheWithCounters(opts.CacheSize, CacheCounters{
 		Hits:      reg.Counter("zerotune_cache_hits_total"),
@@ -233,6 +239,19 @@ func (s *Server) Registry() *Registry { return s.reg }
 // Circuit reports the breaker's current position.
 func (s *Server) Circuit() CircuitState { return s.breaker.currentState() }
 
+// SetBoundAddr records the listener address this server is reachable at
+// (host:port after the kernel resolved a :0 ephemeral port); /healthz
+// reports it.
+func (s *Server) SetBoundAddr(addr string) { s.boundAddr.Store(&addr) }
+
+// BoundAddr returns the recorded listener address, "" when never set.
+func (s *Server) BoundAddr() string {
+	if p := s.boundAddr.Load(); p != nil {
+		return *p
+	}
+	return ""
+}
+
 // ServeModelFile loads, validates and installs the model at path.
 func (s *Server) ServeModelFile(path string) (*ModelEntry, error) {
 	_, e, err := s.reg.Swap(path)
@@ -250,7 +269,7 @@ func (s *Server) Close() { s.batcher.Close() }
 
 // Summary renders the shutdown digest of every counter.
 func (s *Server) Summary() string {
-	return s.stats.Summary(s.cache.Stats(), s.reg.Current())
+	return s.stats.Summary(s.cache.Stats(), s.respHits.Load(), s.reg.Current())
 }
 
 // Snapshot flattens the counters for tests and callers.
@@ -594,11 +613,12 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	entry := s.reg.Current()
 	if entry == nil {
-		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "no model"})
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "no model", Addr: s.BoundAddr()})
 		return
 	}
 	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:  "ok",
+		Addr:    s.BoundAddr(),
 		Circuit: s.breaker.currentState().String(),
 		Model: ModelInfo{
 			ID: entry.ID, Path: entry.Path, Params: entry.ZT.Model.NumParams(),

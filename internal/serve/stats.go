@@ -112,8 +112,10 @@ func (s *Stats) WriteMetrics(w io.Writer, model *ModelEntry) {
 }
 
 // Summary renders a compact human-readable digest, logged on graceful
-// shutdown.
-func (s *Stats) Summary(cache CacheStats, model *ModelEntry) string {
+// shutdown. bodyHits is the raw-body response cache's hit count — it lives
+// outside CacheStats (the respCache fronts the fingerprint cache) and was
+// historically dropped from the digest.
+func (s *Stats) Summary(cache CacheStats, bodyHits uint64, model *ModelEntry) string {
 	var b []byte
 	w := func(format string, args ...any) { b = fmt.Appendf(b, format, args...) }
 	w("serve: uptime %s", time.Since(s.start).Round(time.Millisecond))
@@ -140,8 +142,8 @@ func (s *Stats) Summary(cache CacheStats, model *ModelEntry) string {
 		w("serve: %d batches, %d graphs inferred, mean batch %.2f, max batch %.0f\n",
 			s.Batches.Load(), s.Inferences.Load(), bs.Sum/float64(bs.Count), bs.Max)
 	}
-	w("serve: cache %d entries, %d hits, %d coalesced, %d misses, %d evictions, %d reloads",
-		cache.Size, cache.Hits, cache.Coalesced, cache.Misses, cache.Evictions, s.Reloads.Load())
+	w("serve: cache %d entries, %d hits, %d coalesced, %d misses, %d evictions, %d body hits, %d reloads",
+		cache.Size, cache.Hits, cache.Coalesced, cache.Misses, cache.Evictions, bodyHits, s.Reloads.Load())
 	return string(b)
 }
 

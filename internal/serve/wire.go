@@ -145,6 +145,9 @@ type ReloadResponse struct {
 // HealthResponse is the /healthz payload.
 type HealthResponse struct {
 	Status string `json:"status"`
+	// Addr is the listener address actually bound (meaningful with
+	// -addr :0, where the kernel picked the port).
+	Addr string `json:"addr,omitempty"`
 	// Circuit is the breaker position: "closed", "half-open" or "open".
 	Circuit string    `json:"circuit,omitempty"`
 	Model   ModelInfo `json:"model"`
