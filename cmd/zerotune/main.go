@@ -11,6 +11,7 @@
 //	zerotune serve      -model model.json -addr 127.0.0.1:8080 [-batch-window 2ms] [-batch-max 64] [-cache-size 4096] [-request-timeout 30s]
 //	zerotune gateway    -addr 127.0.0.1:8090 {-backends http://h1:p1,http://h2:p2 | -replicas 3 -model model.json} [-route affinity] [-queue-policy fcfs] [-slo gold=200:400:10,bronze=50]
 //	zerotune chaos      -model model.json [-seed 1] [-requests 120] [-log events.log] [-circuit-threshold 3] [-probe-every 4]
+//	zerotune bench      -model model.json [-seed 1] [-rate 200] [-duration 10s] [-arrival poisson] [-sweep] [-record trace.ztrc | -replay trace.ztrc] [-report report.json]
 //	zerotune simulate   -query linear -rate 100000 [-workers 4] [-degrees 1,4,4,1 | -plan plan.json]
 //	zerotune validate   -query linear -rate 5000 [-workers 2] [-duration 5000]
 //	zerotune experiment <id> [-scale quick|default|paper] [-csv dir]
@@ -58,6 +59,8 @@ func main() {
 		err = runGateway(os.Args[2:])
 	case "chaos":
 		err = runChaos(os.Args[2:])
+	case "bench":
+		err = runBench(os.Args[2:])
 	case "simulate":
 		err = runSimulate(os.Args[2:])
 	case "validate":
@@ -88,6 +91,7 @@ commands:
   serve       expose predict/tune over HTTP with micro-batching and caching
   gateway     front N serve replicas with routing, SLO admission and health probing
   chaos       replay a seeded fault schedule against an in-process server
+  bench       open-loop load harness: seeded arrivals, RPS sweeps, trace record/replay
   simulate    run the ground-truth engine on one plan and print its costs
   validate    cross-check the analytical engine against the event simulator
   experiment  regenerate a table or figure of the paper (id or "all")`)

@@ -1,0 +1,476 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// testBodies is a small deterministic corpus.
+var testBodies = [][]byte{
+	[]byte(`{"q":"a"}`),
+	[]byte(`{"q":"bb"}`),
+	[]byte(`{"q":"ccc"}`),
+}
+
+func baseSpec() Spec {
+	return Spec{
+		Seed:     42,
+		Arrival:  ArrivalPoisson,
+		Rate:     500,
+		Duration: 2 * time.Second,
+		Classes:  []ClassShare{{Name: "gold", Weight: 1}, {Name: "best-effort", Weight: 3}},
+		Bodies:   testBodies,
+	}
+}
+
+// TestScheduleDeterminism is the core seeded-determinism contract: equal
+// specs produce deep-equal schedules, and changing only the seed changes the
+// schedule.
+func TestScheduleDeterminism(t *testing.T) {
+	a, err := baseSpec().Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := baseSpec().Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec produced different schedules")
+	}
+	s := baseSpec()
+	s.Seed = 43
+	c, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].Offset != c[i].Offset {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical arrival times")
+	}
+}
+
+// TestPoissonMeanInterarrival checks the exponential sampler's mean gap is
+// 1/λ within statistical tolerance, and that offsets are sorted.
+func TestPoissonMeanInterarrival(t *testing.T) {
+	s := baseSpec()
+	s.Rate = 1000
+	s.Duration = 20 * time.Second
+	reqs, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) < 15000 {
+		t.Fatalf("expected ~20000 arrivals at 1000 rps over 20s, got %d", len(reqs))
+	}
+	for i := 1; i < len(reqs); i++ {
+		if reqs[i].Offset < reqs[i-1].Offset {
+			t.Fatalf("offsets not sorted at %d", i)
+		}
+	}
+	mean := reqs[len(reqs)-1].Offset.Seconds() / float64(len(reqs)-1)
+	if want := 1.0 / s.Rate; math.Abs(mean-want) > 0.05*want {
+		t.Fatalf("poisson mean interarrival = %gs, want %gs ±5%%", mean, want)
+	}
+}
+
+// TestUniformArrivalIsMetronome checks CV-0 spacing: every gap is 1/rate.
+func TestUniformArrivalIsMetronome(t *testing.T) {
+	s := baseSpec()
+	s.Arrival = ArrivalUniform
+	s.Rate = 100
+	s.Duration = time.Second
+	reqs, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 99 { // offsets k/100 s for k = 1..99 fall inside 1s
+		t.Fatalf("uniform schedule has %d requests, want 99", len(reqs))
+	}
+	for i := 1; i < len(reqs); i++ {
+		gap := reqs[i].Offset - reqs[i-1].Offset
+		if d := gap - 10*time.Millisecond; d < -time.Microsecond || d > time.Microsecond {
+			t.Fatalf("gap %d = %s, want 10ms", i, gap)
+		}
+	}
+}
+
+// TestShapedArrivalMoments checks gamma and weibull keep the requested mean
+// rate and roughly the requested coefficient of variation.
+func TestShapedArrivalMoments(t *testing.T) {
+	for _, tc := range []struct {
+		kind ArrivalKind
+		cv   float64
+	}{
+		{ArrivalGamma, 0.5}, {ArrivalGamma, 2.0},
+		{ArrivalWeibull, 0.5}, {ArrivalWeibull, 2.0},
+	} {
+		s := baseSpec()
+		s.Arrival = tc.kind
+		s.CV = tc.cv
+		s.Rate = 500
+		s.Duration = 20 * time.Second
+		reqs, err := s.Schedule()
+		if err != nil {
+			t.Fatalf("%s cv=%g: %v", tc.kind, tc.cv, err)
+		}
+		n := len(reqs)
+		if n < 5000 {
+			t.Fatalf("%s cv=%g: only %d arrivals", tc.kind, tc.cv, n)
+		}
+		gaps := make([]float64, 0, n-1)
+		sum := 0.0
+		for i := 1; i < n; i++ {
+			g := (reqs[i].Offset - reqs[i-1].Offset).Seconds()
+			gaps = append(gaps, g)
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		if want := 1.0 / s.Rate; math.Abs(mean-want) > 0.10*want {
+			t.Errorf("%s cv=%g: mean gap %gs, want %gs ±10%%", tc.kind, tc.cv, mean, want)
+		}
+		varsum := 0.0
+		for _, g := range gaps {
+			varsum += (g - mean) * (g - mean)
+		}
+		cv := math.Sqrt(varsum/float64(len(gaps))) / mean
+		if math.Abs(cv-tc.cv) > 0.2*tc.cv {
+			t.Errorf("%s: measured cv %g, want %g ±20%%", tc.kind, cv, tc.cv)
+		}
+	}
+}
+
+// TestClassMixMatchesWeights checks the seeded class draw respects weights.
+func TestClassMixMatchesWeights(t *testing.T) {
+	s := baseSpec()
+	s.Rate = 2000
+	s.Duration = 5 * time.Second
+	reqs, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	be := 0
+	for _, r := range reqs {
+		switch r.Class {
+		case "best-effort":
+			be++
+		case "gold":
+		default:
+			t.Fatalf("unexpected class %q", r.Class)
+		}
+	}
+	frac := float64(be) / float64(len(reqs))
+	if math.Abs(frac-0.75) > 0.05 {
+		t.Fatalf("best-effort fraction = %g, want 0.75 ±0.05", frac)
+	}
+}
+
+// TestDiurnalEnvelopeShiftsMass checks the sinusoidal envelope concentrates
+// arrivals in the high-rate half of the period.
+func TestDiurnalEnvelopeShiftsMass(t *testing.T) {
+	s := baseSpec()
+	s.Rate = 1000
+	s.Duration = 10 * time.Second
+	s.DiurnalAmplitude = 0.9
+	s.DiurnalPeriod = s.Duration // sin > 0 over the first half
+	reqs, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := 0
+	for _, r := range reqs {
+		if r.Offset < s.Duration/2 {
+			first++
+		}
+	}
+	second := len(reqs) - first
+	if second == 0 || float64(first)/float64(second) < 1.5 {
+		t.Fatalf("diurnal peak half has %d arrivals vs %d in trough half; envelope not applied", first, second)
+	}
+	// Total mass is preserved: Λ(Duration) = Rate·Duration for a full period.
+	if n := len(reqs); math.Abs(float64(n)-10000) > 500 {
+		t.Fatalf("diurnal schedule has %d arrivals, want ~10000", n)
+	}
+}
+
+// TestSpecValidation rejects nonsense specs.
+func TestSpecValidation(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"zero rate":       func(s *Spec) { s.Rate = 0 },
+		"zero duration":   func(s *Spec) { s.Duration = 0 },
+		"amplitude >= 1":  func(s *Spec) { s.DiurnalAmplitude = 1 },
+		"no bodies":       func(s *Spec) { s.Bodies = nil },
+		"unknown arrival": func(s *Spec) { s.Arrival = "pareto" },
+		"negative weight": func(s *Spec) { s.Classes[0].Weight = -1 },
+		"negative cv":     func(s *Spec) { s.CV = -0.5 },
+		"weibull tiny cv": func(s *Spec) { s.Arrival = ArrivalWeibull; s.CV = 0.01 },
+		"weibull huge cv": func(s *Spec) { s.Arrival = ArrivalWeibull; s.CV = 50 },
+	}
+	for name, mutate := range cases {
+		s := baseSpec()
+		mutate(&s)
+		if _, err := s.Schedule(); err == nil {
+			t.Errorf("%s: Schedule accepted invalid spec", name)
+		}
+	}
+}
+
+// TestTraceRoundTrip is the record/replay contract: writing the same seeded
+// schedule twice is byte-identical, reading it back reproduces every record
+// exactly, and re-recording the replayed schedule reproduces the file —
+// byte-for-byte, the property CI's cmp enforces.
+func TestTraceRoundTrip(t *testing.T) {
+	s := baseSpec()
+	s.Duration = 500 * time.Millisecond
+	reqs, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := HeaderFromSpec(s)
+
+	var f1, f2 bytes.Buffer
+	if err := WriteTrace(&f1, h, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteTrace(&f2, h, reqs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1.Bytes(), f2.Bytes()) {
+		t.Fatal("recording the same schedule twice produced different bytes")
+	}
+
+	gotH, gotReqs, err := ReadTrace(bytes.NewReader(f1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotH != h {
+		t.Fatalf("trace header mutated: got %+v want %+v", gotH, h)
+	}
+	if !reflect.DeepEqual(gotReqs, reqs) {
+		t.Fatal("trace records did not round-trip (bodies/ordering/classes)")
+	}
+
+	// Replay → re-record must reproduce the original file exactly.
+	var f3 bytes.Buffer
+	if err := WriteTrace(&f3, gotH, gotReqs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f1.Bytes(), f3.Bytes()) {
+		t.Fatal("re-recording a replayed trace changed the bytes")
+	}
+}
+
+// TestTraceRejectsCorruption flips, truncates and extends a valid trace and
+// requires every mutation to be detected.
+func TestTraceRejectsCorruption(t *testing.T) {
+	s := baseSpec()
+	s.Duration = 200 * time.Millisecond
+	reqs, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, HeaderFromSpec(s), reqs); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	mutate := func(name string, f func([]byte) []byte) {
+		b := append([]byte(nil), good...)
+		if _, _, err := ReadTrace(bytes.NewReader(f(b))); err == nil {
+			t.Errorf("%s: corrupt trace accepted", name)
+		}
+	}
+	mutate("flipped body byte", func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b })
+	mutate("flipped checksum byte", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b })
+	mutate("truncated mid-record", func(b []byte) []byte { return b[:len(b)*2/3] })
+	mutate("truncated trailer", func(b []byte) []byte { return b[:len(b)-4] })
+	mutate("trailing garbage", func(b []byte) []byte { return append(b, 0xff) })
+	mutate("wrong magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("future version", func(b []byte) []byte { b[4] = 99; return b })
+}
+
+// countingTarget succeeds for the first capacity requests and then returns
+// 503 — a deterministic saturation model with no wall-clock dependence.
+type countingTarget struct {
+	mu       sync.Mutex
+	served   int
+	capacity int
+}
+
+func (c *countingTarget) Do(ctx context.Context, path, class string, body []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.served++
+	if c.served > c.capacity {
+		return http.StatusServiceUnavailable, nil
+	}
+	return http.StatusOK, nil
+}
+
+// TestRunAndStepReport exercises the runner end to end against an in-process
+// target and checks the aggregation: counts, goodput, monotone percentiles.
+func TestRunAndStepReport(t *testing.T) {
+	s := baseSpec()
+	s.Arrival = ArrivalUniform
+	s.Rate = 500
+	s.Duration = 200 * time.Millisecond
+	reqs, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt := &countingTarget{capacity: len(reqs) - 10}
+	results, err := Run(context.Background(), reqs, RunOptions{Target: tgt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := buildStep(s.Rate, s.Duration, results)
+	if st.Requests != len(reqs) {
+		t.Fatalf("step counted %d requests, ran %d", st.Requests, len(reqs))
+	}
+	if st.OK != len(reqs)-10 || st.StatusCounts["503"] != 10 || st.TransportE != 0 {
+		t.Fatalf("ok=%d statusCounts=%v transport=%d, want %d OK and 10×503",
+			st.OK, st.StatusCounts, st.TransportE, len(reqs)-10)
+	}
+	if st.GoodputRPS <= 0 {
+		t.Fatal("goodput must be positive")
+	}
+	p := st.Latency
+	if !(p.P50 <= p.P90 && p.P90 <= p.P95 && p.P95 <= p.P99 && p.P99 <= p.P999) {
+		t.Fatalf("percentiles not monotone: %+v", p)
+	}
+	if len(st.PerClass) != 2 {
+		t.Fatalf("per-class breakdown missing: %v", st.PerClass)
+	}
+	var rep Report
+	rep.Mode = "fixed"
+	rep.Steps = []StepReport{st}
+	rep.BuildBenchmarks("bench/serve")
+	if len(rep.Benchmarks) != 1 || !strings.HasPrefix(rep.Benchmarks[0].Name, "bench/serve/rate=") {
+		t.Fatalf("benchjson projection wrong: %+v", rep.Benchmarks)
+	}
+	if rep.Benchmarks[0].Metrics["req/sec"] != st.GoodputRPS {
+		t.Fatal("benchjson metrics missing goodput")
+	}
+	if !strings.Contains(rep.Table(), "p99.9") {
+		t.Fatalf("table missing percentile columns:\n%s", rep.Table())
+	}
+}
+
+// TestRunChargesCoordinatedOmission pins the harness's reason to exist: with
+// a slow target and an in-flight cap of 1, later requests cannot be sent on
+// time, and the corrected latency (from intended send) must exceed the
+// closed-loop service time by roughly the queueing delay.
+func TestRunChargesCoordinatedOmission(t *testing.T) {
+	reqs := make([]Request, 5)
+	for i := range reqs {
+		reqs[i] = Request{Offset: time.Duration(i) * time.Millisecond, Path: "/x", Body: []byte("b")}
+	}
+	slow := targetFunc(func(ctx context.Context, path, class string, body []byte) (int, error) {
+		time.Sleep(30 * time.Millisecond)
+		return 200, nil
+	})
+	results, err := Run(context.Background(), reqs, RunOptions{Target: slow, MaxInFlight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := results[len(results)-1]
+	if last.Latency-last.Service < 50*time.Millisecond {
+		t.Fatalf("corrected latency %s vs service %s: queueing delay was coordinated away",
+			last.Latency, last.Service)
+	}
+	if last.SendLag < 50*time.Millisecond {
+		t.Fatalf("send lag %s should reflect the in-flight-cap backpressure", last.SendLag)
+	}
+}
+
+type targetFunc func(ctx context.Context, path, class string, body []byte) (int, error)
+
+func (f targetFunc) Do(ctx context.Context, path, class string, body []byte) (int, error) {
+	return f(ctx, path, class, body)
+}
+
+// TestHandlerTarget drives a real http.Handler and checks method, SLO-class
+// header and body delivery.
+func TestHandlerTarget(t *testing.T) {
+	var gotClass, gotMethod, gotBody string
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotClass = r.Header.Get(SLOClassHeader)
+		gotMethod = r.Method
+		var b bytes.Buffer
+		_, _ = b.ReadFrom(r.Body)
+		gotBody = b.String()
+		w.WriteHeader(http.StatusTeapot)
+	})
+	status, err := HandlerTarget{Handler: h}.Do(context.Background(), "/v1/predict", "gold", []byte(`{"x":1}`))
+	if err != nil || status != http.StatusTeapot {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	if gotClass != "gold" || gotMethod != http.MethodPost || gotBody != `{"x":1}` {
+		t.Fatalf("request mangled: class=%q method=%q body=%q", gotClass, gotMethod, gotBody)
+	}
+}
+
+// TestSweepLocatesKnee drives the sweep against the deterministic counting
+// target: the first step fits within capacity, the second blows through it,
+// so the sweep must stop after two steps and report the first rate as knee.
+func TestSweepLocatesKnee(t *testing.T) {
+	s := baseSpec()
+	s.Arrival = ArrivalUniform // metronome: request counts are exact
+	tgt := &countingTarget{capacity: 60}
+	rep, err := Sweep(context.Background(), s, SweepOptions{
+		Start:        250,
+		Factor:       2,
+		Steps:        4,
+		StepDuration: 200 * time.Millisecond,
+		Run:          RunOptions{Target: tgt},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 1 at 250 rps / 200ms = 49 requests (all within capacity 60);
+	// step 2 at 500 rps = 99 requests, only 11 succeed → saturated.
+	if len(rep.Steps) != 2 {
+		t.Fatalf("sweep ran %d steps, want early stop after 2: %+v", len(rep.Steps), rep.Steps)
+	}
+	if !rep.Saturated || rep.KneeRPS != 250 {
+		t.Fatalf("saturated=%v knee=%g, want knee at 250 rps", rep.Saturated, rep.KneeRPS)
+	}
+	if rep.Steps[0].OK != 49 || rep.Steps[1].OK != 11 {
+		t.Fatalf("step OKs = %d/%d, want 49/11", rep.Steps[0].OK, rep.Steps[1].OK)
+	}
+	if !strings.Contains(rep.Table(), "saturation knee: ~250") {
+		t.Fatalf("table missing knee verdict:\n%s", rep.Table())
+	}
+
+	// A target with headroom never saturates. (Rates are high enough that
+	// the metronome's one-slot discretization undershoot stays inside the
+	// 0.9 goodput fraction.)
+	rep2, err := Sweep(context.Background(), s, SweepOptions{
+		Start:        500,
+		Steps:        2,
+		StepDuration: 200 * time.Millisecond,
+		Run:          RunOptions{Target: &countingTarget{capacity: 1 << 30}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Saturated || len(rep2.Steps) != 2 || rep2.KneeRPS != 0 {
+		t.Fatalf("unsaturated sweep misreported: %+v", rep2)
+	}
+}

@@ -1,0 +1,253 @@
+package loadgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"zerotune/internal/metrics"
+)
+
+// quantile labels rendered in tables and reports, in order.
+var reportQuantiles = []struct {
+	Q    float64
+	Name string
+}{
+	{0.50, "p50"}, {0.90, "p90"}, {0.95, "p95"}, {0.99, "p99"}, {0.999, "p99.9"},
+}
+
+// Percentiles is one latency distribution summary in milliseconds. Values
+// are computed over the *full* per-request record of a run — never over a
+// bounded recent-observation window like the /metrics quantile ring — so a
+// report's p99.9 means the whole run's p99.9.
+type Percentiles struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P95  float64 `json:"p95_ms"`
+	P99  float64 `json:"p99_ms"`
+	P999 float64 `json:"p999_ms"`
+}
+
+// pct computes the summary from a slice of durations (sorted once).
+func pct(durs []time.Duration) Percentiles {
+	if len(durs) == 0 {
+		return Percentiles{}
+	}
+	ms := make([]float64, len(durs))
+	for i, d := range durs {
+		ms[i] = float64(d) / float64(time.Millisecond)
+	}
+	sort.Float64s(ms)
+	return Percentiles{
+		P50:  metrics.QuantileSorted(ms, 0.50),
+		P90:  metrics.QuantileSorted(ms, 0.90),
+		P95:  metrics.QuantileSorted(ms, 0.95),
+		P99:  metrics.QuantileSorted(ms, 0.99),
+		P999: metrics.QuantileSorted(ms, 0.999),
+	}
+}
+
+// byName returns the named percentile.
+func (p Percentiles) byName(name string) float64 {
+	switch name {
+	case "p50":
+		return p.P50
+	case "p90":
+		return p.P90
+	case "p95":
+		return p.P95
+	case "p99":
+		return p.P99
+	default:
+		return p.P999
+	}
+}
+
+// ClassReport is the per-SLO-class slice of a step.
+type ClassReport struct {
+	Requests int         `json:"requests"`
+	OK       int         `json:"ok"`
+	Latency  Percentiles `json:"latency"`
+}
+
+// StepReport summarizes one offered-load step (a whole run is one step;
+// a sweep is several).
+type StepReport struct {
+	// OfferedRPS is the intended mean arrival rate of the step.
+	OfferedRPS float64 `json:"offered_rps"`
+	// Requests actually scheduled; wall is the step's intended horizon.
+	Requests   int     `json:"requests"`
+	WallSec    float64 `json:"wall_sec"`
+	OK         int     `json:"ok"` // 2xx responses
+	TransportE int     `json:"transport_errors"`
+	// StatusCounts maps non-2xx HTTP statuses to occurrence counts.
+	StatusCounts map[string]int `json:"status_counts,omitempty"`
+	// GoodputRPS is 2xx completions per second of intended horizon.
+	GoodputRPS float64 `json:"goodput_rps"`
+	// Latency is coordinated-omission-corrected (intended send → done).
+	Latency Percentiles `json:"latency"`
+	// Service is the closed-loop view (actual send → done), reported so the
+	// size of the correction is visible.
+	Service Percentiles `json:"service"`
+	// MaxSendLagMs is the worst intended-vs-actual send skew — a sanity
+	// check that the generator itself kept up.
+	MaxSendLagMs float64 `json:"max_send_lag_ms"`
+	// Fat-tail ratios; 0 when the base percentile is 0.
+	P99OverP50  float64 `json:"p99_over_p50,omitempty"`
+	P999OverP99 float64 `json:"p999_over_p99,omitempty"`
+	// PerClass breaks the step down by SLO class when classes were mixed.
+	PerClass map[string]ClassReport `json:"per_class,omitempty"`
+}
+
+// buildStep aggregates one run's results.
+func buildStep(offered float64, wall time.Duration, results []Result) StepReport {
+	st := StepReport{
+		OfferedRPS: offered,
+		Requests:   len(results),
+		WallSec:    wall.Seconds(),
+	}
+	var lat, svc []time.Duration
+	perClass := map[string]*ClassReport{}
+	classLat := map[string][]time.Duration{}
+	for _, r := range results {
+		lat = append(lat, r.Latency)
+		svc = append(svc, r.Service)
+		if ms := float64(r.SendLag) / float64(time.Millisecond); ms > st.MaxSendLagMs {
+			st.MaxSendLagMs = ms
+		}
+		ok := !r.Err && r.Status >= 200 && r.Status < 300
+		if ok {
+			st.OK++
+		} else if r.Err {
+			st.TransportE++
+		} else {
+			if st.StatusCounts == nil {
+				st.StatusCounts = map[string]int{}
+			}
+			st.StatusCounts[fmt.Sprint(r.Status)]++
+		}
+		if r.Class != "" {
+			c := perClass[r.Class]
+			if c == nil {
+				c = &ClassReport{}
+				perClass[r.Class] = c
+			}
+			c.Requests++
+			if ok {
+				c.OK++
+			}
+			classLat[r.Class] = append(classLat[r.Class], r.Latency)
+		}
+	}
+	st.Latency = pct(lat)
+	st.Service = pct(svc)
+	if wall > 0 {
+		st.GoodputRPS = float64(st.OK) / wall.Seconds()
+	}
+	if st.Latency.P50 > 0 {
+		st.P99OverP50 = st.Latency.P99 / st.Latency.P50
+	}
+	if st.Latency.P99 > 0 {
+		st.P999OverP99 = st.Latency.P999 / st.Latency.P99
+	}
+	if len(perClass) > 0 {
+		st.PerClass = make(map[string]ClassReport, len(perClass))
+		for name, c := range perClass {
+			c.Latency = pct(classLat[name])
+			st.PerClass[name] = *c
+		}
+	}
+	return st
+}
+
+// BenchmarkEntry mirrors cmd/benchjson's Benchmark shape, so a bench report
+// can be fed anywhere a BENCH_*.json snapshot is accepted (regression
+// baselines, the perf-trajectory tooling).
+type BenchmarkEntry struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the machine-readable bench output.
+type Report struct {
+	// Mode is "fixed", "sweep" or "replay".
+	Mode string `json:"mode"`
+	// Target names what was driven ("serve", "gateway", or a URL).
+	Target string `json:"target"`
+	// Trace echoes the workload provenance (seed, process, rates).
+	Trace TraceHeader `json:"trace"`
+	// Steps holds one entry per offered-load step.
+	Steps []StepReport `json:"steps"`
+	// KneeRPS is the highest offered rate that still met the sweep's
+	// goodput fraction before the first failing step; 0 when the sweep
+	// never saturated (or mode != sweep).
+	KneeRPS float64 `json:"knee_rps,omitempty"`
+	// Saturated reports whether a sweep actually found the knee.
+	Saturated bool `json:"saturated,omitempty"`
+	// Benchmarks is the benchjson-compatible projection of Steps.
+	Benchmarks []BenchmarkEntry `json:"benchmarks"`
+}
+
+// SingleStep assembles the one-step report of a fixed-rate or replay run.
+func SingleStep(mode, target string, h TraceHeader, offered float64, wall time.Duration, results []Result) *Report {
+	return &Report{
+		Mode:   mode,
+		Target: target,
+		Trace:  h,
+		Steps:  []StepReport{buildStep(offered, wall, results)},
+	}
+}
+
+// BuildBenchmarks projects steps into benchjson's schema: ns_per_op is the
+// corrected p50 (a latency, like any ns/op), everything else rides in the
+// metrics map.
+func (r *Report) BuildBenchmarks(prefix string) {
+	r.Benchmarks = r.Benchmarks[:0]
+	for _, st := range r.Steps {
+		e := BenchmarkEntry{
+			Name:       fmt.Sprintf("%s/rate=%g", prefix, st.OfferedRPS),
+			Iterations: int64(st.Requests),
+			NsPerOp:    st.Latency.P50 * 1e6,
+			Metrics: map[string]float64{
+				"req/sec":     st.GoodputRPS,
+				"p99-ms":      st.Latency.P99,
+				"p99.9-ms":    st.Latency.P999,
+				"p99/p50":     st.P99OverP50,
+				"p99.9/p99":   st.P999OverP99,
+				"errors":      float64(st.Requests - st.OK),
+				"offered-rps": st.OfferedRPS,
+			},
+		}
+		r.Benchmarks = append(r.Benchmarks, e)
+	}
+}
+
+// Table renders the human-readable percentile table: one row per step, the
+// saturation verdict at the bottom.
+func (r *Report) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10s %9s %8s %10s", "offered", "requests", "goodput", "errors")
+	for _, q := range reportQuantiles {
+		fmt.Fprintf(&b, " %9s", q.Name)
+	}
+	fmt.Fprintf(&b, " %9s %9s\n", "p99/p50", "p99.9/p99")
+	for _, st := range r.Steps {
+		fmt.Fprintf(&b, "%8.1f/s %9d %6.1f/s %10d", st.OfferedRPS, st.Requests, st.GoodputRPS, st.Requests-st.OK)
+		for _, q := range reportQuantiles {
+			fmt.Fprintf(&b, " %7.2fms", st.Latency.byName(q.Name))
+		}
+		fmt.Fprintf(&b, " %9.2f %9.2f\n", st.P99OverP50, st.P999OverP99)
+	}
+	switch {
+	case r.Saturated:
+		fmt.Fprintf(&b, "saturation knee: ~%.0f req/s (last step sustaining the goodput target)\n", r.KneeRPS)
+	case r.Mode == "sweep":
+		fmt.Fprintf(&b, "saturation knee: not reached (goodput tracked offered load through the last step)\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,187 @@
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Target abstracts the system under load: an in-process handler (serve
+// replica or gateway driven directly, no sockets) or a remote HTTP base URL.
+type Target interface {
+	// Do sends body to path with the given SLO class and returns the HTTP
+	// status. Transport-level failures return err; application errors are a
+	// non-2xx status with err nil (mirroring serve.Backend).
+	Do(ctx context.Context, path, class string, body []byte) (status int, err error)
+}
+
+// HandlerTarget drives an http.Handler in-process — both *serve.Server and
+// *gateway.Gateway implement http.Handler, so one adapter load-tests either
+// tier without network noise.
+type HandlerTarget struct{ Handler http.Handler }
+
+// discardWriter is a minimal ResponseWriter that keeps only the status.
+type discardWriter struct {
+	h      http.Header
+	status int
+}
+
+func (w *discardWriter) Header() http.Header         { return w.h }
+func (w *discardWriter) WriteHeader(c int)           { w.status = c }
+func (w *discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// Do implements Target.
+func (t HandlerTarget) Do(ctx context.Context, path, class string, body []byte) (int, error) {
+	method := http.MethodGet
+	if len(body) > 0 {
+		method = http.MethodPost
+	}
+	req, err := http.NewRequestWithContext(ctx, method, "http://loadgen"+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	if class != "" {
+		req.Header.Set(SLOClassHeader, class)
+	}
+	w := &discardWriter{h: make(http.Header), status: http.StatusOK}
+	t.Handler.ServeHTTP(w, req)
+	return w.status, nil
+}
+
+// HTTPTarget sends requests to a remote base URL ("http://host:port").
+type HTTPTarget struct {
+	Base   string
+	Client *http.Client
+}
+
+// Do implements Target.
+func (t HTTPTarget) Do(ctx context.Context, path, class string, body []byte) (int, error) {
+	client := t.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	method := http.MethodGet
+	if len(body) > 0 {
+		method = http.MethodPost
+	}
+	req, err := http.NewRequestWithContext(ctx, method, t.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if class != "" {
+		req.Header.Set(SLOClassHeader, class)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	// Drain so keep-alive connections are reused across the run.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// Result is one request's outcome. Latency is measured from the *intended*
+// send time, so scheduler or client-side backpressure shows up in the
+// numbers instead of being coordinated away.
+type Result struct {
+	Seq    int           // schedule position
+	Offset time.Duration // intended send time (from run start)
+	Class  string
+	Status int  // HTTP status; 0 on transport error
+	Err    bool // transport-level failure
+
+	// Latency = completion − intended send (coordinated-omission-free).
+	Latency time.Duration
+	// Service = completion − actual send: what a closed-loop client would
+	// have reported. The gap between the two is the queueing delay the
+	// correction recovers.
+	Service time.Duration
+	// SendLag = actual send − intended send (scheduler + in-flight-cap
+	// backpressure).
+	SendLag time.Duration
+}
+
+// RunOptions configures one open-loop run.
+type RunOptions struct {
+	Target Target
+	// MaxInFlight caps concurrently outstanding requests (default 1024).
+	// When the cap is hit the sender blocks — the wait is charged to the
+	// affected requests' latency via the intended-time measurement, so the
+	// cap degrades gracefully instead of hiding overload.
+	MaxInFlight int
+	// Timeout bounds each request (default 30s; <0 disables).
+	Timeout time.Duration
+}
+
+// Run fires the schedule open-loop against the target and returns one
+// Result per request, in schedule order. Requests are dispatched at their
+// intended offsets regardless of earlier responses; completions land
+// concurrently. ctx cancellation stops the sender between dispatches.
+func Run(ctx context.Context, reqs []Request, opts RunOptions) ([]Result, error) {
+	if opts.Target == nil {
+		return nil, fmt.Errorf("loadgen: RunOptions.Target is required")
+	}
+	maxInFlight := opts.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 1024
+	}
+	timeout := opts.Timeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+
+	results := make([]Result, len(reqs))
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	start := time.Now()
+
+	for i, r := range reqs {
+		intended := start.Add(r.Offset)
+		if d := time.Until(intended); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				wg.Wait()
+				return results[:i], ctx.Err()
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			return results[:i], ctx.Err()
+		}
+		wg.Add(1)
+		go func(seq int, req Request, intended time.Time) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rctx := ctx
+			var cancel context.CancelFunc
+			if timeout > 0 {
+				rctx, cancel = context.WithTimeout(ctx, timeout)
+				defer cancel()
+			}
+			sent := time.Now()
+			status, err := opts.Target.Do(rctx, req.Path, req.Class, req.Body)
+			done := time.Now()
+			results[seq] = Result{
+				Seq:     seq,
+				Offset:  req.Offset,
+				Class:   req.Class,
+				Status:  status,
+				Err:     err != nil,
+				Latency: done.Sub(intended),
+				Service: done.Sub(sent),
+				SendLag: sent.Sub(intended),
+			}
+		}(i, r, intended)
+	}
+	wg.Wait()
+	return results, nil
+}

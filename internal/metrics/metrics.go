@@ -63,6 +63,30 @@ func TryQuantile(xs []float64, q float64) (v float64, ok bool) {
 	return sorted[lo]*(1-frac) + sorted[hi]*frac, true
 }
 
+// QuantileSorted is Quantile for a slice the caller has already sorted
+// ascending: no copy, no re-sort. Bulk consumers (the load harness computes
+// five percentiles per step over every recorded request) sort once and call
+// this per quantile point. It panics on an empty slice like Quantile.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("metrics: quantile of empty slice")
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
 // Median returns the 50th percentile.
 func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
 

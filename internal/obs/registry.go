@@ -136,6 +136,22 @@ func escapeLabelValue(v string) string {
 	return r.Replace(v)
 }
 
+// InfoLine renders one constant-1 info sample (`name{labels} 1`) with the
+// exposition-format label escaping this registry uses everywhere else. It
+// exists for scrape-time identity lines rendered outside a registry (the
+// serve tier's model_info): hand-formatting those with Go's %q produces
+// \xNN escapes the strict parser — and real Prometheus — reject, so every
+// ad-hoc sample must go through this instead. Panics on an invalid metric
+// or label name, like instrument registration.
+func InfoLine(name string, labels ...Label) string {
+	if !nameRE.MatchString(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	var b strings.Builder
+	writeSample(&b, name, renderLabels(labels), "", 1, true)
+	return b.String()
+}
+
 // lookup finds or creates the series for (name, labels), enforcing kind
 // consistency across the family. fill initializes a freshly created series
 // under the registry lock, so a renderer can never observe a series whose
@@ -231,6 +247,15 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		f := r.fams[name]
+		if f.kind == kindHistogram {
+			// The quantile series come from a bounded ring of recent
+			// observations, not the whole run — say so where every scraper
+			// can see it, and point at the series that quantify the window.
+			fmt.Fprintf(&b, "# HELP %s buckets/sum/count cover the whole run; quantile series are computed "+
+				"over a sliding window of the most recent observations "+
+				"(see %s_window_capacity and %s_window_filled)\n", name, name, name)
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		}
 		if f.keys == nil {
 			for k := range f.series {
 				f.keys = append(f.keys, k)
@@ -293,6 +318,11 @@ func writeHistogram(w *strings.Builder, name, labels string, s HistogramSnapshot
 			writeSample(w, name, labels, fmt.Sprintf("quantile=%q", fmt.Sprintf("%g", q)), v, false)
 		}
 	}
+	// The window series make the quantile ring's reach machine-readable:
+	// when _count exceeds _window_filled, the quantiles above reflect only
+	// the most recent _window_capacity observations, not the whole run.
+	writeSample(w, name+"_window_capacity", labels, "", float64(s.RingCapacity), true)
+	writeSample(w, name+"_window_filled", labels, "", float64(s.RingFilled), true)
 }
 
 // Histogram is a concurrency-safe fixed-bucket histogram that additionally
@@ -355,8 +385,15 @@ type HistogramSnapshot struct {
 	Min    float64
 	Max    float64
 	// Quantiles over the recent-observation ring; nil when no data yet
-	// (TryQuantile keeps the empty case panic-free).
+	// (TryQuantile keeps the empty case panic-free). The ring is a last-N
+	// window: once Count exceeds RingFilled these are *recent* quantiles,
+	// not whole-run quantiles — whole-run summaries must be computed from
+	// full per-observation records (as the bench harness does).
 	Quantiles map[float64]float64
+	// RingCapacity is the quantile window's bound; RingFilled is how many
+	// observations it currently holds (== min(Count, RingCapacity)).
+	RingCapacity int
+	RingFilled   int
 }
 
 // Snapshot copies the histogram state and computes ring quantiles.
@@ -367,6 +404,7 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		Bounds: append([]float64(nil), h.bounds...),
 		Counts: append([]uint64(nil), h.counts...),
 		Count:  h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		RingCapacity: cap(h.ring), RingFilled: len(h.ring),
 	}
 	h.mu.Unlock()
 	for _, q := range quantilePoints {

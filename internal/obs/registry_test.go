@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -61,6 +62,71 @@ func TestRegistryRoundTrip(t *testing.T) {
 	}
 	if _, ok := FindSample(samples, "latency_seconds", L("quantile", "0.5")); !ok {
 		t.Errorf("quantile series missing:\n%s", text)
+	}
+}
+
+func TestInfoLineEscaping(t *testing.T) {
+	// Backslashes, quotes, a newline, a tab, printable unicode and one raw
+	// invalid-UTF-8 byte: %q turns the tab into \t and the raw byte into
+	// \x80, neither of which the exposition format knows.
+	hostile := `C:\m\"x"` + "\n\t" + "caf\u00e9\u2713" + "\x80"
+	line := InfoLine("model_info", L("path", hostile), L("id", "a"))
+	samples, err := ParseText(strings.NewReader(line))
+	if err != nil {
+		t.Fatalf("InfoLine output rejected by strict parser: %v\n%s", err, line)
+	}
+	if v, ok := FindSample(samples, "model_info", L("path", hostile), L("id", "a")); !ok || v != 1 {
+		t.Fatalf("hostile label value did not round-trip: %q", line)
+	}
+	// %q rendering of the same value is NOT parseable — the bug InfoLine
+	// exists to prevent: non-ASCII bytes become \xNN escapes.
+	bad := "model_info{path=" + strconv.Quote(hostile) + "} 1\n"
+	if _, err := ParseText(strings.NewReader(bad)); err == nil {
+		t.Fatalf("expected strict parser to reject %%q-escaped line %q", bad)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name must panic")
+		}
+	}()
+	InfoLine("bad metric name")
+}
+
+func TestHistogramWindowSeries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", []float64{0.1}, 4)
+	for i := 0; i < 10; i++ {
+		h.Observe(float64(i)) // 10 observed, ring holds last 4
+	}
+	snap := h.Snapshot()
+	if snap.RingCapacity != 4 || snap.RingFilled != 4 || snap.Count != 10 {
+		t.Fatalf("snapshot window = cap %d filled %d count %d, want 4/4/10",
+			snap.RingCapacity, snap.RingFilled, snap.Count)
+	}
+	// The ring is a last-N window: with observations 0..9 and capacity 4,
+	// the p50 covers {6,7,8,9}, not the whole run — which is exactly why
+	// the window series must be exported alongside the quantiles.
+	if q := snap.Quantiles[0.5]; q < 6 {
+		t.Fatalf("ring p50 = %g, expected it to reflect only recent samples (>= 6)", q)
+	}
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	text := b.String()
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckHistograms(samples); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := FindSample(samples, "lat_seconds_window_capacity"); !ok || v != 4 {
+		t.Fatalf("window_capacity = %g (ok=%v), want 4:\n%s", v, ok, text)
+	}
+	if v, ok := FindSample(samples, "lat_seconds_window_filled"); !ok || v != 4 {
+		t.Fatalf("window_filled = %g (ok=%v), want 4:\n%s", v, ok, text)
+	}
+	if !strings.Contains(text, "# HELP lat_seconds ") || !strings.Contains(text, "sliding window") {
+		t.Fatalf("histogram HELP must document the quantile window:\n%s", text)
 	}
 }
 

@@ -466,7 +466,8 @@ func TestServeMetricsAndSummary(t *testing.T) {
 		"zerotune_batch_size_bucket",
 		"zerotune_cache_misses_total 1",
 		"zerotune_inferences_total 1",
-		`zerotune_model_info{id="test-a"`,
+		// Rendered via obs.InfoLine: canonical sorted label order.
+		`zerotune_model_info{gen="1",id="test-a"`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q in:\n%s", want, text)

@@ -104,10 +104,14 @@ type Snapshot struct {
 // model-identity series of the currently served revision. The identity line
 // is rendered at scrape time from the model registry, so it is correct even
 // when models are installed behind the server's back (tests, warm starts).
+// It goes through obs.InfoLine for exposition-format label escaping: Go's
+// %q turns backslashes, quotes and non-ASCII bytes in a model path into
+// escapes the strict parser (and real Prometheus) reject.
 func (s *Stats) WriteMetrics(w io.Writer, model *ModelEntry) {
 	_ = s.reg.WritePrometheus(w)
 	if model != nil {
-		fmt.Fprintf(w, "zerotune_model_info{id=%q,path=%q,gen=\"%d\"} 1\n", model.ID, model.Path, model.Gen)
+		_, _ = io.WriteString(w, obs.InfoLine("zerotune_model_info",
+			obs.L("id", model.ID), obs.L("path", model.Path), obs.L("gen", fmt.Sprint(model.Gen))))
 	}
 }
 
@@ -131,10 +135,7 @@ func (s *Stats) Summary(cache CacheStats, bodyHits uint64, model *ModelEntry) st
 		}
 		ls := ep.Latency.Snapshot()
 		w("serve: %-8s %6d requests, %d errors", name, n, ep.Errors.Load())
-		if p50, ok := ls.Quantiles[0.5]; ok {
-			p99 := ls.Quantiles[0.99]
-			w(", p50 %.3fms p99 %.3fms", p50*1e3, p99*1e3)
-		}
+		appendQuantileDigest(w, ls)
 		w("\n")
 	}
 	bs := s.BatchSizes.Snapshot()
@@ -145,6 +146,18 @@ func (s *Stats) Summary(cache CacheStats, bodyHits uint64, model *ModelEntry) st
 	w("serve: cache %d entries, %d hits, %d coalesced, %d misses, %d evictions, %d body hits, %d reloads",
 		cache.Size, cache.Hits, cache.Coalesced, cache.Misses, cache.Evictions, bodyHits, s.Reloads.Load())
 	return string(b)
+}
+
+// appendQuantileDigest renders the ", p50 …ms p99 …ms" tail of one endpoint
+// line. Every quantile is ok-checked independently: a snapshot carrying p50
+// but not p99 prints only p50 instead of a silent `p99 0.000ms`.
+func appendQuantileDigest(w func(format string, args ...any), ls obs.HistogramSnapshot) {
+	if p50, ok := ls.Quantiles[0.5]; ok {
+		w(", p50 %.3fms", p50*1e3)
+	}
+	if p99, ok := ls.Quantiles[0.99]; ok {
+		w(" p99 %.3fms", p99*1e3)
+	}
 }
 
 // maxBatch reports the largest flushed batch so far (0 before the first).
