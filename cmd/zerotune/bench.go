@@ -78,7 +78,11 @@ func benchBodies(seed uint64, n int) ([][]byte, error) {
 // returned closer tears down whatever was started.
 func benchTarget(targetURL, model string, replicas int, slo string, timeout time.Duration) (loadgen.Target, string, func(), error) {
 	if targetURL != "" {
-		return loadgen.HTTPTarget{Base: strings.TrimRight(targetURL, "/")}, targetURL, func() {}, nil
+		t, err := loadgen.NewHTTPTarget(strings.TrimRight(targetURL, "/"), nil)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		return t, targetURL, func() {}, nil
 	}
 	if replicas > 0 {
 		classes, err := parseSLOClasses(slo)

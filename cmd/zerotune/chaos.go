@@ -2,16 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
-	"net/http/httptest"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
+	"zerotune/internal/client"
 	"zerotune/internal/fault"
 	"zerotune/internal/queryplan"
 	"zerotune/internal/serve"
@@ -58,6 +59,11 @@ func runChaos(args []string) error {
 		// Probing is count-based (probe-every); park the cooldown far away so
 		// wall-clock time never influences breaker transitions.
 		CircuitCooldown: time.Hour,
+		// Learning on, so the feedback.ingest fault point sits in the line
+		// of fire (the learner loop itself is not started here — promote
+		// faults are covered by the feedback package's own tests and the
+		// learn-e2e CI job).
+		Learn: &serve.LearnOptions{},
 	})
 	defer s.Close()
 	// Load before activating faults: the replay targets the serving path, not
@@ -73,7 +79,7 @@ func runChaos(args []string) error {
 	fault.Activate(reg)
 	defer fault.Deactivate()
 
-	h := &chaosHarness{srv: s, deadline: *reqTimeout}
+	h := &chaosHarness{srv: s, c: client.NewForHandler(s), deadline: *reqTimeout}
 	clearAt := *requests / 2
 	for i := 0; i < *requests; i++ {
 		if i == clearAt {
@@ -103,8 +109,8 @@ func runChaos(args []string) error {
 	}
 
 	snap := s.Snapshot()
-	fmt.Printf("chaos: seed=%d requests=%d healthy=%d degraded=%d errors=%d stuck=%d\n",
-		*seed, *requests, h.healthy, h.degraded, h.errored, h.stuck)
+	fmt.Printf("chaos: seed=%d requests=%d healthy=%d degraded=%d errors=%d stuck=%d fedback=%d\n",
+		*seed, *requests, h.healthy, h.degraded, h.errored, h.stuck, h.fedback)
 	fmt.Printf("chaos: faults=%d dropped_events=%d circuit_opens=%d served_degraded=%d\n",
 		len(reg.Events()), reg.Dropped(), snap.CircuitOpens, snap.Degraded)
 	for _, code := range sortedKeys(h.codes) {
@@ -148,6 +154,9 @@ func chaosSchedule(seed uint64, reqTimeout time.Duration) []fault.Schedule {
 		// duration never decides an outcome and determinism survives).
 		{Point: fault.BatcherFlush, Mode: fault.ModeDelay, Prob: prob(fault.BatcherFlush, 0.05, 0.15),
 			Delay: reqTimeout / 3, Limit: 3},
+		// Feedback ingestion drops some observations on the floor; the
+		// client must see the enveloped fault, never a half-ingested state.
+		{Point: fault.FeedbackIngest, Mode: fault.ModeError, Prob: prob(fault.FeedbackIngest, 0.10, 0.30)},
 	}
 }
 
@@ -158,9 +167,11 @@ const stuckAfter = 5 * time.Second
 
 type chaosHarness struct {
 	srv      *serve.Server
+	c        *client.Client
 	deadline time.Duration
 
 	healthy           int
+	fedback           int
 	healthyAfterClear int
 	degraded          int
 	errored           int
@@ -174,37 +185,32 @@ func (h *chaosHarness) violate(format string, args ...any) {
 	h.violations = append(h.violations, fmt.Sprintf(format, args...))
 }
 
-// do drives one request through the server's handler under a stuck-request
-// watchdog. A watchdog hit abandons the recorder (the handler goroutine may
-// still be writing to it, so it is never read afterwards).
-func (h *chaosHarness) do(method, path string, body any) (int, []byte, bool) {
-	var rd *bytes.Reader
+// do drives one request through the shared in-process client under a
+// stuck-request watchdog: the handler transport abandons a call whose
+// context expires (the handler goroutine may still be writing to its
+// private recorder, which is never read afterwards).
+func (h *chaosHarness) do(path string, body any) (int, []byte, bool) {
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
+		var err error
+		data, err = json.Marshal(body)
 		if err != nil {
-			h.violate("%s %s: marshal request: %v", method, path, err)
+			h.violate("%s: marshal request: %v", path, err)
 			return 0, nil, false
 		}
-		rd = bytes.NewReader(data)
-	} else {
-		rd = bytes.NewReader(nil)
 	}
-	req := httptest.NewRequest(method, path, rd)
-	rec := httptest.NewRecorder()
-	done := make(chan struct{})
-	go func() {
-		h.srv.ServeHTTP(rec, req)
-		close(done)
-	}()
-	select {
-	case <-done:
-		return rec.Code, rec.Body.Bytes(), true
-	case <-time.After(h.deadline + stuckAfter):
+	ctx, cancel := context.WithTimeout(context.Background(), h.deadline+stuckAfter)
+	defer cancel()
+	status, payload, err := h.c.Call(ctx, path, data)
+	if err != nil {
+		// The in-process transport only errors when the watchdog context
+		// expired before the handler answered.
 		h.stuck++
-		h.violate("stuck request: %s %s gave no answer %s past its %s deadline",
-			method, path, stuckAfter, h.deadline)
+		h.violate("stuck request: %s gave no answer %s past its %s deadline",
+			path, stuckAfter, h.deadline)
 		return 0, nil, false
 	}
+	return status, payload, true
 }
 
 // checkEnvelope asserts a non-200 response carries the stable error envelope
@@ -213,7 +219,7 @@ func (h *chaosHarness) do(method, path string, body any) (int, []byte, bool) {
 func (h *chaosHarness) checkEnvelope(what string, status int, payload []byte) {
 	h.errored++
 	switch status {
-	case 400, 422, 429, 499, 500, 503:
+	case 400, 404, 422, 429, 499, 500, 503:
 	default:
 		h.violate("%s: unexpected status %d (%s)", what, status, payload)
 		return
@@ -248,7 +254,7 @@ func (h *chaosHarness) predict(i int, afterClear bool) {
 		}
 	}
 	req := serve.PredictRequest{Plan: plan, Cluster: serve.ClusterSpec{Workers: 4, LinkGbps: 10}}
-	status, payload, ok := h.do("POST", "/v1/predict", &req)
+	status, payload, ok := h.do("/v1/predict", &req)
 	if !ok {
 		return
 	}
@@ -274,10 +280,33 @@ func (h *chaosHarness) predict(i int, afterClear bool) {
 	if afterClear {
 		h.healthyAfterClear++
 	}
+	if resp.Fingerprint != "" {
+		h.feedback(i, &resp)
+	}
+}
+
+// feedback closes the loop on a healthy prediction: observed costs shifted
+// a fixed 10% off the prediction, so ingestion (and its fault point) is
+// exercised without ever tripping the drift detector's default threshold.
+func (h *chaosHarness) feedback(i int, pred *serve.PredictResponse) {
+	req := serve.FeedbackRequest{
+		Fingerprint:           pred.Fingerprint,
+		ObservedLatencyMs:     pred.LatencyMs * 1.1,
+		ObservedThroughputEPS: pred.ThroughputEPS * 1.1,
+	}
+	status, payload, ok := h.do("/v1/feedback", &req)
+	if !ok {
+		return
+	}
+	if status != 200 {
+		h.checkEnvelope(fmt.Sprintf("feedback %d", i), status, payload)
+		return
+	}
+	h.fedback++
 }
 
 func (h *chaosHarness) reload(path string) {
-	status, payload, ok := h.do("POST", "/v1/reload", serve.ReloadRequest{Path: path})
+	status, payload, ok := h.do("/v1/reload", serve.ReloadRequest{Path: path})
 	if !ok || status == 200 {
 		return
 	}
@@ -288,7 +317,7 @@ func (h *chaosHarness) reload(path string) {
 }
 
 func (h *chaosHarness) health() {
-	status, payload, ok := h.do("GET", "/healthz", nil)
+	status, payload, ok := h.do("/healthz", nil)
 	if !ok {
 		return
 	}

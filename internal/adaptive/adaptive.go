@@ -5,19 +5,56 @@
 // watches the observed source rates and, when they drift past a threshold,
 // re-runs the what-if optimizer against the new rates — no trial
 // deployments, no oscillation.
+//
+// Construct controllers with New and functional options:
+//
+//	ctl := adaptive.New(est,
+//		adaptive.WithDriftThreshold(0.3),
+//		adaptive.WithRegistry(reg),
+//		adaptive.WithFeedback(store))
+//
+// When a feedback sink is configured, ObserveMetrics pairs the model's
+// prediction for the running plan with the measured runtime numbers and
+// records a feedback.Sample — the controller then participates in the same
+// closed learning loop as /v1/feedback.
 package adaptive
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"zerotune/internal/cluster"
+	"zerotune/internal/feedback"
+	"zerotune/internal/obs"
 	"zerotune/internal/optimizer"
 	"zerotune/internal/queryplan"
 )
 
+// Typed errors returned by Deploy and Observe. Match with errors.Is.
+var (
+	// ErrNoEstimator: the controller was built without a cost estimator.
+	ErrNoEstimator = errors.New("adaptive: controller has no estimator")
+	// ErrNotDeployed: Observe was called with a nil or undeployed State.
+	ErrNotDeployed = errors.New("adaptive: observe on an undeployed state")
+	// ErrBadRate: the observed total source rate was not positive.
+	ErrBadRate = errors.New("adaptive: non-positive observed rate")
+)
+
+// FeedbackSink receives prediction-vs-observed samples from ObserveMetrics.
+// *feedback.Store satisfies it.
+type FeedbackSink interface {
+	Record(feedback.Sample)
+}
+
 // Controller re-tunes a running query when its workload drifts.
+//
+// The exported fields are the pre-redesign construction surface, kept so
+// struct-literal construction and direct field tweaks continue to compile.
+//
+// Deprecated: populate them through New and the With* options instead; the
+// fields will become unexported in a future change.
 type Controller struct {
 	// Estimator prices candidate plans (normally the trained model).
 	Estimator optimizer.CostEstimator
@@ -30,16 +67,66 @@ type Controller struct {
 	// required to actually reconfigure — reconfiguration is expensive, so
 	// marginal wins are skipped.
 	MinImprovement float64
+
+	sink FeedbackSink
+
+	// Metrics are nil unless WithRegistry was supplied.
+	retunes      *obs.Counter
+	observations *obs.Counter
+	driftGauge   *obs.Gauge
 }
 
-// New returns a controller with sane defaults for the optional fields.
-func New(est optimizer.CostEstimator) *Controller {
-	return &Controller{
+// Option configures a Controller built by New.
+type Option func(*Controller)
+
+// WithTuneOptions overrides the optimizer options used by every pass.
+func WithTuneOptions(o optimizer.TuneOptions) Option {
+	return func(c *Controller) { c.TuneOptions = o }
+}
+
+// WithDriftThreshold sets the relative rate drift that triggers re-tuning.
+func WithDriftThreshold(v float64) Option {
+	return func(c *Controller) { c.DriftThreshold = v }
+}
+
+// WithMinImprovement sets the predicted-score margin a new plan must beat
+// the re-priced current plan by before the controller reconfigures.
+func WithMinImprovement(v float64) Option {
+	return func(c *Controller) { c.MinImprovement = v }
+}
+
+// WithRegistry publishes controller metrics:
+// zerotune_adaptive_retunes_total, zerotune_adaptive_observations_total,
+// and the zerotune_adaptive_drift gauge (last relative drift seen).
+func WithRegistry(reg *obs.Registry) Option {
+	return func(c *Controller) {
+		if reg == nil {
+			return
+		}
+		c.retunes = reg.Counter("zerotune_adaptive_retunes_total")
+		c.observations = reg.Counter("zerotune_adaptive_observations_total")
+		c.driftGauge = reg.Gauge("zerotune_adaptive_drift")
+	}
+}
+
+// WithFeedback routes prediction-vs-observed pairs from ObserveMetrics into
+// sink (normally the server's *feedback.Store), closing the learning loop.
+func WithFeedback(sink FeedbackSink) Option {
+	return func(c *Controller) { c.sink = sink }
+}
+
+// New returns a controller with sane defaults, refined by opts.
+func New(est optimizer.CostEstimator, opts ...Option) *Controller {
+	c := &Controller{
 		Estimator:      est,
 		TuneOptions:    optimizer.DefaultTuneOptions(),
 		DriftThreshold: 0.3,
 		MinImprovement: 0.05,
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
 }
 
 // State is the controller's view of one running query.
@@ -53,6 +140,16 @@ type State struct {
 	Reconfigurations int
 }
 
+// Observation is one runtime measurement fed to ObserveMetrics. TotalRate
+// is required; LatencyMs and ThroughputEPS are optional measured numbers —
+// when both are positive and a feedback sink is configured, the controller
+// records a prediction-vs-observed sample.
+type Observation struct {
+	TotalRate     float64
+	LatencyMs     float64
+	ThroughputEPS float64
+}
+
 // totalRate sums the declared source rates of a query.
 func totalRate(q *queryplan.Query) float64 {
 	var sum float64
@@ -64,13 +161,16 @@ func totalRate(q *queryplan.Query) float64 {
 
 // Deploy performs the initial tuning for the query's declared rates.
 func (c *Controller) Deploy(ctx context.Context, q *queryplan.Query, cl *cluster.Cluster) (*State, error) {
+	ctx, span := obs.StartSpan(ctx, "adaptive.deploy")
+	defer span.End()
 	if c.Estimator == nil {
-		return nil, fmt.Errorf("adaptive: controller has no estimator")
+		return nil, ErrNoEstimator
 	}
 	res, err := optimizer.Tune(ctx, q, cl, c.Estimator, c.TuneOptions)
 	if err != nil {
 		return nil, err
 	}
+	span.SetAttr("tuned_rate", totalRate(q))
 	return &State{Query: q, Plan: res.Plan, TunedRate: totalRate(q)}, nil
 }
 
@@ -94,21 +194,43 @@ func scaledQuery(q *queryplan.Query, factor float64) *queryplan.Query {
 // observed rate) by at least MinImprovement. It returns whether a
 // reconfiguration happened.
 func (c *Controller) Observe(ctx context.Context, st *State, cl *cluster.Cluster, observedRate float64) (bool, error) {
+	return c.ObserveMetrics(ctx, st, cl, Observation{TotalRate: observedRate})
+}
+
+// ObserveMetrics is Observe with the full runtime measurement: in addition
+// to the drift/re-tune decision on o.TotalRate, it records a
+// prediction-vs-observed feedback sample when the observation carries
+// measured latency and throughput and a sink was configured.
+func (c *Controller) ObserveMetrics(ctx context.Context, st *State, cl *cluster.Cluster, o Observation) (bool, error) {
+	ctx, span := obs.StartSpan(ctx, "adaptive.observe")
+	defer span.End()
 	if st == nil || st.Plan == nil {
-		return false, fmt.Errorf("adaptive: Observe on an undeployed state")
+		return false, ErrNotDeployed
 	}
-	if observedRate <= 0 {
-		return false, fmt.Errorf("adaptive: non-positive observed rate %v", observedRate)
+	if o.TotalRate <= 0 {
+		return false, fmt.Errorf("%w: %v", ErrBadRate, o.TotalRate)
 	}
-	drift := observedRate/st.TunedRate - 1
+	if c.Estimator == nil {
+		return false, ErrNoEstimator
+	}
+	if c.observations != nil {
+		c.observations.Inc()
+	}
+	c.recordFeedback(ctx, st, cl, o)
+
+	drift := o.TotalRate/st.TunedRate - 1
 	if drift < 0 {
 		drift = -drift
+	}
+	span.SetAttr("drift", drift)
+	if c.driftGauge != nil {
+		c.driftGauge.Set(drift)
 	}
 	if drift < c.DriftThreshold {
 		return false, nil
 	}
 	// Re-tune against the observed workload.
-	factor := observedRate / totalRate(st.Query)
+	factor := o.TotalRate / totalRate(st.Query)
 	shifted := scaledQuery(st.Query, factor)
 	res, err := optimizer.Tune(ctx, shifted, cl, c.Estimator, c.TuneOptions)
 	if err != nil {
@@ -116,8 +238,8 @@ func (c *Controller) Observe(ctx context.Context, st *State, cl *cluster.Cluster
 	}
 	// Price the currently running degrees under the new rates.
 	current := queryplan.NewPQP(shifted)
-	for _, o := range shifted.Ops {
-		current.SetDegree(o.ID, st.Plan.Degree(o.ID))
+	for _, op := range shifted.Ops {
+		current.SetDegree(op.ID, st.Plan.Degree(op.ID))
 	}
 	if err := cluster.Place(current, cl); err != nil {
 		return false, err
@@ -133,15 +255,41 @@ func (c *Controller) Observe(ctx context.Context, st *State, cl *cluster.Cluster
 		// Not worth a reconfiguration; accept the drift as the new normal
 		// so the controller does not re-evaluate every observation.
 		st.Query = shifted
-		st.TunedRate = observedRate
+		st.TunedRate = o.TotalRate
 		st.Plan = current
 		return false, nil
 	}
 	st.Query = shifted
 	st.Plan = res.Plan
-	st.TunedRate = observedRate
+	st.TunedRate = o.TotalRate
 	st.Reconfigurations++
+	if c.retunes != nil {
+		c.retunes.Inc()
+	}
+	span.SetAttr("retuned", true)
 	return true, nil
+}
+
+// recordFeedback pairs the model's prediction for the running plan with
+// the measured numbers and hands the sample to the sink. Best-effort: an
+// estimator error here must not fail the observation.
+func (c *Controller) recordFeedback(ctx context.Context, st *State, cl *cluster.Cluster, o Observation) {
+	if c.sink == nil || o.LatencyMs <= 0 || o.ThroughputEPS <= 0 {
+		return
+	}
+	est, err := c.Estimator.Estimate(ctx, st.Plan, cl)
+	if err != nil {
+		return
+	}
+	c.sink.Record(feedback.Sample{
+		Class:                  "adaptive",
+		Plan:                   st.Plan,
+		Cluster:                cl,
+		PredictedLatencyMs:     est.LatencyMs,
+		PredictedThroughputEPS: est.ThroughputEPS,
+		ObservedLatencyMs:      o.LatencyMs,
+		ObservedThroughputEPS:  o.ThroughputEPS,
+	})
 }
 
 // scoreOf mirrors the optimizer's log-score: wt·ln(lat) − (1−wt)·ln(tpt).

@@ -2,9 +2,12 @@ package adaptive
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"zerotune/internal/cluster"
+	"zerotune/internal/feedback"
+	"zerotune/internal/obs"
 	"zerotune/internal/optimizer"
 	"zerotune/internal/queryplan"
 	"zerotune/internal/simulator"
@@ -126,19 +129,95 @@ func TestObserveValidatesInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ctl.Observe(context.Background(), st, c, 0); err == nil {
-		t.Fatal("accepted zero rate")
+	if _, err := ctl.Observe(context.Background(), st, c, 0); !errors.Is(err, ErrBadRate) {
+		t.Fatalf("zero rate: want ErrBadRate, got %v", err)
 	}
-	if _, err := ctl.Observe(context.Background(), nil, c, 100); err == nil {
-		t.Fatal("accepted nil state")
+	if _, err := ctl.Observe(context.Background(), nil, c, 100); !errors.Is(err, ErrNotDeployed) {
+		t.Fatalf("nil state: want ErrNotDeployed, got %v", err)
 	}
 }
 
 func TestDeployRequiresEstimator(t *testing.T) {
 	q, c := testSetup(t, 1000)
+	// The pre-redesign struct-literal construction must keep compiling (the
+	// exported fields are the deprecation shim) and keep failing typed.
 	ctl := &Controller{TuneOptions: optimizer.DefaultTuneOptions(), DriftThreshold: 0.3}
-	if _, err := ctl.Deploy(context.Background(), q, c); err == nil {
-		t.Fatal("deployed without estimator")
+	if _, err := ctl.Deploy(context.Background(), q, c); !errors.Is(err, ErrNoEstimator) {
+		t.Fatalf("want ErrNoEstimator, got %v", err)
+	}
+}
+
+func TestFunctionalOptions(t *testing.T) {
+	ctl := New(optimizer.EstimatorFunc(oracle),
+		WithDriftThreshold(0.7),
+		WithMinImprovement(0.2),
+		WithTuneOptions(optimizer.TuneOptions{Weight: 0.9}))
+	if ctl.DriftThreshold != 0.7 || ctl.MinImprovement != 0.2 || ctl.TuneOptions.Weight != 0.9 {
+		t.Fatalf("options not applied: %+v", ctl)
+	}
+}
+
+func TestObserveMetricsRecordsFeedback(t *testing.T) {
+	q, c := testSetup(t, 100_000)
+	reg := obs.NewRegistry()
+	store := feedback.NewStore(16, 1, nil)
+	ctl := New(optimizer.EstimatorFunc(oracle),
+		WithRegistry(reg),
+		WithFeedback(store))
+	st, err := ctl.Deploy(context.Background(), q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate-only observation: drift bookkeeping, no feedback sample.
+	if _, err := ctl.Observe(context.Background(), st, c, 105_000); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 0 {
+		t.Fatalf("rate-only observation recorded a sample")
+	}
+	// Measured observation: one prediction-vs-observed sample lands.
+	obsv := Observation{TotalRate: 105_000, LatencyMs: 42, ThroughputEPS: 99_000}
+	if _, err := ctl.ObserveMetrics(context.Background(), st, c, obsv); err != nil {
+		t.Fatal(err)
+	}
+	if store.Len() != 1 {
+		t.Fatalf("store has %d samples, want 1", store.Len())
+	}
+	smp := store.Snapshot()[0]
+	if smp.ObservedLatencyMs != 42 || smp.ObservedThroughputEPS != 99_000 {
+		t.Fatalf("observed values not threaded through: %+v", smp)
+	}
+	if smp.PredictedLatencyMs <= 0 || smp.PredictedThroughputEPS <= 0 {
+		t.Fatalf("predicted values missing: %+v", smp)
+	}
+	if smp.Class != "adaptive" || smp.Plan == nil || smp.Cluster == nil {
+		t.Fatalf("sample attribution incomplete: %+v", smp)
+	}
+	if n := reg.Counter("zerotune_adaptive_observations_total").Load(); n != 2 {
+		t.Fatalf("observations counter %d, want 2", n)
+	}
+}
+
+func TestRetuneCounterIncrements(t *testing.T) {
+	q, c := testSetup(t, 20_000)
+	reg := obs.NewRegistry()
+	ctl := New(optimizer.EstimatorFunc(oracle), WithRegistry(reg))
+	st, err := ctl.Deploy(context.Background(), q, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed, err := ctl.Observe(context.Background(), st, c, 400_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("expected a reconfiguration on 20x drift")
+	}
+	if n := reg.Counter("zerotune_adaptive_retunes_total").Load(); n != 1 {
+		t.Fatalf("retunes counter %d, want 1", n)
+	}
+	if g := reg.Gauge("zerotune_adaptive_drift").Load(); g <= 0 {
+		t.Fatalf("drift gauge not set: %v", g)
 	}
 }
 

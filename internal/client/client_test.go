@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"zerotune/internal/serve"
+)
+
+func TestNonEnvelopeBodyClassifiedByStatus(t *testing.T) {
+	cases := []struct {
+		status int
+		want   error
+	}{
+		{429, ErrQueueFull},
+		{400, ErrBadRequest},
+		{503, ErrUnavailable},
+		{499, ErrCanceled},
+		{500, ErrInternal},
+		{502, ErrInternal},
+	}
+	for _, c := range cases {
+		err := decodeAPIError(c.status, []byte("<html>proxy says no</html>"))
+		if !errors.Is(err, c.want) {
+			t.Errorf("status %d: got %v, want %v", c.status, err, c.want)
+		}
+	}
+}
+
+func TestNewValidatesBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "ftp://host", "http://", "not a url\x7f://"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted", bad)
+		}
+	}
+	c, err := New("http://127.0.0.1:9999/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Base() != "http://127.0.0.1:9999" {
+		t.Fatalf("base not normalized: %q", c.Base())
+	}
+}
+
+// TestResponseReadBounded: a handler streaming more than the cap must not
+// balloon the returned body past MaxResponseBytes.
+func TestResponseReadBounded(t *testing.T) {
+	big := strings.Repeat("x", 4096)
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, big)
+	})
+	c := NewForHandler(h, WithMaxResponseBytes(1024))
+	_, body, err := c.Call(context.Background(), "/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(body) != 1024 {
+		t.Fatalf("read %d bytes past the 1024 cap", len(body))
+	}
+}
+
+// TestHandlerTransportMethodAndHeaders: /v1/* goes out as POST with the JSON
+// content type; class and custom headers land on the request.
+func TestHandlerTransportMethodAndHeaders(t *testing.T) {
+	var gotMethod, gotCT, gotClass, gotX string
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotMethod, gotCT = r.Method, r.Header.Get("Content-Type")
+		gotClass, gotX = r.Header.Get(SLOClassHeader), r.Header.Get("X-Extra")
+		w.Write([]byte("{}"))
+	})
+	c := NewForHandler(h)
+	_, _, err := c.Call(context.Background(), "/v1/predict", []byte(`{}`),
+		WithSLOClass("gold"), WithHeader("X-Extra", "1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotMethod != http.MethodPost || gotCT != "application/json" {
+		t.Fatalf("v1 call: method=%s ct=%s", gotMethod, gotCT)
+	}
+	if gotClass != "gold" || gotX != "1" {
+		t.Fatalf("headers lost: class=%q extra=%q", gotClass, gotX)
+	}
+	if _, _, err := c.Call(context.Background(), "/healthz", nil); err != nil {
+		t.Fatal(err)
+	}
+	if gotMethod != http.MethodGet {
+		t.Fatalf("non-v1 call sent as %s", gotMethod)
+	}
+}
+
+// TestHandlerTransportAbandonsStuckHandler: the watchdog contract. A wedged
+// handler must surface as the caller's context error, and the handler must
+// never observe the caller's cancellation.
+func TestHandlerTransportAbandonsStuckHandler(t *testing.T) {
+	sawCancel := make(chan bool, 1)
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-r.Context().Done():
+			sawCancel <- true
+		case <-release:
+			sawCancel <- false
+		}
+	})
+	c := NewForHandler(h)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := c.Call(ctx, "/v1/predict", []byte(`{}`))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("stuck handler surfaced as %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("abandonment took implausibly long")
+	}
+	close(release)
+	if <-sawCancel {
+		t.Fatal("handler observed the caller's cancellation — watchdog semantics broken")
+	}
+}
+
+// TestTypedMethodsAgainstServe drives the real server in process: typed
+// round trips decode, and error statuses come back as typed errors.
+func TestTypedMethodsAgainstServe(t *testing.T) {
+	s := serve.New(serve.Options{})
+	defer s.Close()
+	c := NewForHandler(s)
+	ctx := context.Background()
+
+	// No model installed: predict is 503 no_model.
+	_, err := c.Predict(ctx, &serve.PredictRequest{})
+	if !errors.Is(err, ErrNoModel) && !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("modelless predict: %v", err)
+	}
+	// Health on a modelless server is non-200 → typed error.
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("health reported OK without a model")
+	}
+	// Learning disabled: feedback is 503 learning_disabled.
+	_, err = c.Feedback(ctx, &serve.FeedbackRequest{Fingerprint: "00", ObservedLatencyMs: 1, ObservedThroughputEPS: 1})
+	if !errors.Is(err, ErrLearningDisabled) {
+		t.Fatalf("feedback on non-learning server: %v, want ErrLearningDisabled", err)
+	}
+	// Malformed body through the raw Call: enveloped 400.
+	status, body, err := c.Call(ctx, "/v1/predict", []byte("{nope"))
+	if err != nil || status != http.StatusBadRequest {
+		t.Fatalf("malformed predict: status=%d err=%v", status, err)
+	}
+	var env struct {
+		Error struct{ Code, Message string } `json:"error"`
+	}
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" {
+		t.Fatalf("400 body is not the envelope: %s", body)
+	}
+}

@@ -1,0 +1,58 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"testing"
+
+	"zerotune/internal/client"
+	"zerotune/internal/gateway"
+	"zerotune/internal/serve"
+)
+
+// TestEveryKnownCodeHasSentinel pins the contract the client exists for:
+// every stable wire code either tier can emit maps to an exported sentinel,
+// a decoded envelope errors.Is-matches it, and the client's own code list
+// carries nothing the tiers no longer emit. (External test package: the
+// gateway imports client, so this cannot live inside package client.)
+func TestEveryKnownCodeHasSentinel(t *testing.T) {
+	codes := gateway.KnownErrorCodes() // superset: includes serve's
+	if len(codes) <= len(serve.KnownErrorCodes()) {
+		t.Fatal("gateway code list no longer includes serve's")
+	}
+	emitted := make(map[string]bool)
+	for _, code := range codes {
+		emitted[code] = true
+		sentinel, ok := client.SentinelForCode(code)
+		if !ok {
+			t.Errorf("wire code %q has no exported sentinel", code)
+			continue
+		}
+		// Round-trip through a real decode: a handler answering with the
+		// envelope must come back as the matching sentinel.
+		h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, `{"error":{"code":%q,"message":"m"}}`, code)
+		})
+		_, err := client.NewForHandler(h).Predict(context.Background(), &serve.PredictRequest{})
+		if !errors.Is(err, sentinel) {
+			t.Errorf("decoded %q does not errors.Is its sentinel: %v", code, err)
+		}
+		var apiErr *client.APIError
+		if !errors.As(err, &apiErr) || apiErr.Code != code || apiErr.Status != http.StatusInternalServerError {
+			t.Errorf("decoded %q lost envelope fields: %+v", code, apiErr)
+		}
+	}
+	want := make([]string, 0, len(emitted))
+	for code := range emitted {
+		want = append(want, code)
+	}
+	sort.Strings(want)
+	if got := client.KnownCodes(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("client code list out of sync with the tiers:\n client: %v\n  tiers: %v", got, want)
+	}
+}

@@ -50,6 +50,13 @@ const (
 	// gateway's pool, letting a seeded storm eject and rejoin replicas
 	// deterministically.
 	GatewayProbe = "gateway.probe"
+	// FeedbackIngest fires on each POST /v1/feedback before the sample is
+	// admitted to the reservoir store.
+	FeedbackIngest = "feedback.ingest"
+	// FeedbackPromote fires after a fine-tuned candidate has been swapped
+	// in, standing in for a post-promote shadow regression — an injected
+	// error forces the learner's automatic rollback path.
+	FeedbackPromote = "feedback.promote"
 )
 
 // Mode selects what an injected fault does to the caller.

@@ -1,0 +1,199 @@
+package feedback
+
+import (
+	"math"
+	"sync"
+
+	"zerotune/internal/obs"
+)
+
+// DetectorConfig configures drift detection over a sliding window of
+// (predicted, observed) latency pairs.
+type DetectorConfig struct {
+	// Window is the sliding-window length (default 256).
+	Window int
+	// MinSamples is how many pairs must be in the window before the
+	// detector may trip (default 32, clamped to Window).
+	MinSamples int
+	// MAPEThreshold trips the detector when the window MAPE exceeds it
+	// (default 0.5, i.e. predictions off by more than 50% on average).
+	MAPEThreshold float64
+	// PearsonFloor additionally trips when the window's Pearson r falls
+	// below it — the model may be well-scaled yet rank plans badly. Values
+	// <= -1 (the default) disable the correlation trigger.
+	PearsonFloor float64
+	// Registry receives the zerotune_drift_* instruments; nil creates a
+	// private one.
+	Registry *obs.Registry
+	// OnTrip runs (outside the detector lock) every time a threshold
+	// breach fires; the server wires it to Learner.Kick.
+	OnTrip func()
+}
+
+// withDefaults fills unset config fields.
+func (c DetectorConfig) withDefaults() DetectorConfig {
+	if c.Window < 1 {
+		c.Window = 256
+	}
+	if c.MinSamples < 1 {
+		c.MinSamples = 32
+	}
+	if c.MinSamples > c.Window {
+		c.MinSamples = c.Window
+	}
+	if c.MAPEThreshold <= 0 {
+		c.MAPEThreshold = 0.5
+	}
+	if c.PearsonFloor == 0 {
+		c.PearsonFloor = -1.01
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// Detector watches prediction-vs-observed calibration over a sliding
+// window, exports zerotune_drift_mape / zerotune_drift_pearson_r gauges,
+// and trips a retrain trigger on threshold breach. After a trip the window
+// resets, so a second trip requires a full window of fresh evidence. Safe
+// for concurrent use.
+type Detector struct {
+	cfg DetectorConfig
+
+	mu    sync.Mutex
+	pred  []float64 // ring buffers, len == filled, cap == Window
+	obs   []float64
+	next  int // ring write position once full
+	trips uint64
+
+	mapeGauge    *obs.Gauge
+	pearsonGauge *obs.Gauge
+	windowGauge  *obs.Gauge
+	tripsCounter *obs.Counter
+}
+
+// NewDetector builds a detector from cfg (zero fields take defaults).
+func NewDetector(cfg DetectorConfig) *Detector {
+	cfg = cfg.withDefaults()
+	return &Detector{
+		cfg:          cfg,
+		pred:         make([]float64, 0, cfg.Window),
+		obs:          make([]float64, 0, cfg.Window),
+		mapeGauge:    cfg.Registry.Gauge("zerotune_drift_mape"),
+		pearsonGauge: cfg.Registry.Gauge("zerotune_drift_pearson_r"),
+		windowGauge:  cfg.Registry.Gauge("zerotune_drift_window"),
+		tripsCounter: cfg.Registry.Counter("zerotune_drift_trips_total"),
+	}
+}
+
+// Observe records one (predicted, observed) pair, refreshes the gauges,
+// and fires OnTrip when the window breaches a threshold.
+func (d *Detector) Observe(predicted, observed float64) {
+	if math.IsNaN(predicted) || math.IsNaN(observed) ||
+		math.IsInf(predicted, 0) || math.IsInf(observed, 0) {
+		return
+	}
+	d.mu.Lock()
+	if len(d.pred) < cap(d.pred) {
+		d.pred = append(d.pred, predicted)
+		d.obs = append(d.obs, observed)
+	} else {
+		d.pred[d.next] = predicted
+		d.obs[d.next] = observed
+		d.next = (d.next + 1) % cap(d.pred)
+	}
+	mape := MAPE(d.pred, d.obs)
+	r := Pearson(d.pred, d.obs)
+	d.windowGauge.Set(float64(len(d.pred)))
+	d.mapeGauge.Set(gaugeSafe(mape))
+	d.pearsonGauge.Set(gaugeSafe(r))
+	tripped := false
+	if len(d.pred) >= d.cfg.MinSamples {
+		if mape > d.cfg.MAPEThreshold || (!math.IsNaN(r) && r < d.cfg.PearsonFloor) {
+			tripped = true
+			d.trips++
+			d.pred = d.pred[:0]
+			d.obs = d.obs[:0]
+			d.next = 0
+		}
+	}
+	onTrip := d.cfg.OnTrip
+	d.mu.Unlock()
+	if tripped {
+		d.tripsCounter.Inc()
+		if onTrip != nil {
+			onTrip()
+		}
+	}
+}
+
+// Stats returns the current window MAPE, Pearson r, and fill. MAPE and r
+// are NaN while the window is empty (or, for r, degenerate).
+func (d *Detector) Stats() (mape, pearson float64, n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return MAPE(d.pred, d.obs), Pearson(d.pred, d.obs), len(d.pred)
+}
+
+// Trips reports how many times the detector has fired.
+func (d *Detector) Trips() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.trips
+}
+
+// gaugeSafe renders NaN/Inf as 0 — the Prometheus text format has no
+// useful NaN, and "no evidence yet" reads better as zero drift.
+func gaugeSafe(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// MAPE is the mean absolute percentage error of pred against obs:
+// mean(|pred_i − obs_i| / |obs_i|). Pairs with obs == 0 are skipped; NaN
+// when nothing remains.
+func MAPE(pred, obs []float64) float64 {
+	var sum float64
+	var n int
+	for i := range pred {
+		if obs[i] == 0 {
+			continue
+		}
+		sum += math.Abs(pred[i]-obs[i]) / math.Abs(obs[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Pearson is the sample correlation coefficient of x and y; NaN when
+// either series is constant or fewer than two pairs exist.
+func Pearson(x, y []float64) float64 {
+	n := len(x)
+	if n < 2 {
+		return math.NaN()
+	}
+	var mx, my float64
+	for i := 0; i < n; i++ {
+		mx += x[i]
+		my += y[i]
+	}
+	mx /= float64(n)
+	my /= float64(n)
+	var sxy, sxx, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

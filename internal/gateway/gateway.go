@@ -57,7 +57,7 @@ var latencyBounds = []float64{
 const maxBodyBytes = 8 << 20
 
 // endpointNames fixes the per-endpoint stat keys and render order.
-var endpointNames = []string{"predict", "tune", "healthz", "metrics"}
+var endpointNames = []string{"predict", "tune", "feedback", "healthz", "metrics"}
 
 // Options configures a Gateway.
 type Options struct {
@@ -236,6 +236,7 @@ func New(backends []serve.Backend, opts Options) (*Gateway, error) {
 
 	g.mux.HandleFunc("POST /v1/predict", g.instrument("predict", g.proxyHandler("predict")))
 	g.mux.HandleFunc("POST /v1/tune", g.instrument("tune", g.proxyHandler("tune")))
+	g.mux.HandleFunc("POST /v1/feedback", g.instrument("feedback", g.proxyHandler("feedback")))
 	g.mux.HandleFunc("GET /healthz", g.instrument("healthz", g.handleHealthz))
 	g.mux.HandleFunc("GET /metrics", g.instrument("metrics", g.handleMetrics))
 	return g, nil

@@ -1,25 +1,24 @@
 package gateway
 
 import (
-	"bytes"
 	"context"
 	"fmt"
-	"io"
-	"net/http"
 	"net/url"
-	"strings"
 	"time"
+
+	"zerotune/internal/client"
 )
 
 // HTTPBackend fronts one remote serve replica over HTTP — the deployment
-// counterpart of serve.InProcessBackend. Transport errors (dial refused,
+// counterpart of serve.InProcessBackend. It delegates the wire work to the
+// shared typed client (internal/client), which bounds response reads and
+// keeps request construction in one place. Transport errors (dial refused,
 // reset, timeout) surface as Go errors so the pool's ejection machinery
 // sees them; any HTTP response, error envelopes included, passes through
 // as (status, body).
 type HTTPBackend struct {
-	name   string
-	base   string
-	client *http.Client
+	name string
+	c    *client.Client
 }
 
 // NewHTTPBackend wraps the replica at baseURL (scheme://host:port). The
@@ -30,20 +29,14 @@ func NewHTTPBackend(name, baseURL string, timeout time.Duration) (*HTTPBackend, 
 	if err != nil {
 		return nil, fmt.Errorf("gateway: backend url %q: %w", baseURL, err)
 	}
-	if u.Scheme != "http" && u.Scheme != "https" {
-		return nil, fmt.Errorf("gateway: backend url %q: scheme must be http or https", baseURL)
-	}
-	if u.Host == "" {
-		return nil, fmt.Errorf("gateway: backend url %q: missing host", baseURL)
+	c, err := client.New(baseURL, client.WithTimeout(timeout), client.WithMaxResponseBytes(maxBodyBytes))
+	if err != nil {
+		return nil, fmt.Errorf("gateway: backend url %q: %w", baseURL, err)
 	}
 	if name == "" {
 		name = u.Host
 	}
-	return &HTTPBackend{
-		name:   name,
-		base:   strings.TrimRight(u.String(), "/"),
-		client: &http.Client{Timeout: timeout},
-	}, nil
+	return &HTTPBackend{name: name, c: c}, nil
 }
 
 // Name implements serve.Backend.
@@ -51,27 +44,5 @@ func (b *HTTPBackend) Name() string { return b.name }
 
 // Call implements serve.Backend: POST for /v1/* endpoints, GET otherwise.
 func (b *HTTPBackend) Call(ctx context.Context, path string, body []byte) (int, []byte, error) {
-	method := http.MethodGet
-	var rd io.Reader
-	if strings.HasPrefix(path, "/v1/") {
-		method = http.MethodPost
-		rd = bytes.NewReader(body)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, b.base+path, rd)
-	if err != nil {
-		return 0, nil, err
-	}
-	if method == http.MethodPost {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := b.client.Do(req)
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
-	if err != nil {
-		return 0, nil, err
-	}
-	return resp.StatusCode, data, nil
+	return b.c.Call(ctx, path, body)
 }

@@ -4,10 +4,11 @@ import (
 	"bytes"
 	"context"
 	"fmt"
-	"io"
 	"net/http"
 	"sync"
 	"time"
+
+	"zerotune/internal/client"
 )
 
 // Target abstracts the system under load: an in-process handler (serve
@@ -52,38 +53,34 @@ func (t HandlerTarget) Do(ctx context.Context, path, class string, body []byte) 
 	return w.status, nil
 }
 
-// HTTPTarget sends requests to a remote base URL ("http://host:port").
+// HTTPTarget sends requests to a remote base URL through the shared typed
+// client (internal/client) — the one request/decode implementation of the
+// repo, which also bounds response reads. Build it with NewHTTPTarget.
 type HTTPTarget struct {
-	Base   string
-	Client *http.Client
+	c *client.Client
+}
+
+// NewHTTPTarget wraps the endpoint at base ("http://host:port"). A nil hc
+// uses the client's default *http.Client.
+func NewHTTPTarget(base string, hc *http.Client) (*HTTPTarget, error) {
+	opts := []client.Option{}
+	if hc != nil {
+		opts = append(opts, client.WithHTTPClient(hc))
+	}
+	c, err := client.New(base, opts...)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	return &HTTPTarget{c: c}, nil
 }
 
 // Do implements Target.
-func (t HTTPTarget) Do(ctx context.Context, path, class string, body []byte) (int, error) {
-	client := t.Client
-	if client == nil {
-		client = http.DefaultClient
-	}
-	method := http.MethodGet
-	if len(body) > 0 {
-		method = http.MethodPost
-	}
-	req, err := http.NewRequestWithContext(ctx, method, t.Base+path, bytes.NewReader(body))
+func (t *HTTPTarget) Do(ctx context.Context, path, class string, body []byte) (int, error) {
+	status, _, err := t.c.Call(ctx, path, body, client.WithSLOClass(class))
 	if err != nil {
 		return 0, err
 	}
-	req.Header.Set("Content-Type", "application/json")
-	if class != "" {
-		req.Header.Set(SLOClassHeader, class)
-	}
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, err
-	}
-	// Drain so keep-alive connections are reused across the run.
-	_, _ = io.Copy(io.Discard, resp.Body)
-	_ = resp.Body.Close()
-	return resp.StatusCode, nil
+	return status, nil
 }
 
 // Result is one request's outcome. Latency is measured from the *intended*

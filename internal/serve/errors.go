@@ -38,6 +38,13 @@ var (
 	// "circuit_open") when the served model has no fallback estimator;
 	// otherwise the request is answered degraded.
 	ErrCircuitOpen = errors.New("serve: circuit open (learned path unavailable)")
+	// ErrLearningDisabled is returned for /v1/feedback when the server was
+	// built without Options.Learn — there is no store to ingest into.
+	ErrLearningDisabled = errors.New("serve: learning disabled")
+	// ErrUnknownFingerprint is returned for feedback referencing a plan
+	// fingerprint absent from the recent-prediction index (never predicted
+	// here, or already evicted).
+	ErrUnknownFingerprint = errors.New("serve: unknown plan fingerprint")
 )
 
 // statusClientClosedRequest is nginx's non-standard 499: the client went
@@ -62,6 +69,10 @@ func errorCode(status int, err error) string {
 		return "no_model"
 	case errors.Is(err, ErrCircuitOpen):
 		return "circuit_open"
+	case errors.Is(err, ErrLearningDisabled):
+		return "learning_disabled"
+	case errors.Is(err, ErrUnknownFingerprint):
+		return "unknown_fingerprint"
 	case fault.IsInjected(err):
 		return "fault_injected"
 	case errors.Is(err, artifact.ErrChecksum):
@@ -89,7 +100,8 @@ func errorCode(status int, err error) string {
 func KnownErrorCodes() []string {
 	return []string{
 		"queue_full", "timeout", "canceled", "shutting_down", "stale_entry",
-		"no_model", "circuit_open", "fault_injected", "checksum_mismatch",
+		"no_model", "circuit_open", "learning_disabled", "unknown_fingerprint",
+		"fault_injected", "checksum_mismatch",
 		"bad_request", "invalid_model", "unavailable", "internal",
 	}
 }

@@ -18,7 +18,7 @@ var latencyBounds = []float64{
 var batchBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 
 // endpointNames fixes the per-endpoint stat keys and render order.
-var endpointNames = []string{"predict", "tune", "reload", "healthz", "metrics"}
+var endpointNames = []string{"predict", "tune", "feedback", "reload", "healthz", "metrics"}
 
 // EndpointStats counts requests and errors and tracks latency for one
 // endpoint.

@@ -102,6 +102,32 @@ type PredictResponse struct {
 	// Fallback names the estimator that answered a degraded request
 	// (currently "linreg").
 	Fallback string `json:"fallback,omitempty"`
+	// Fingerprint is the hex plan fingerprint, echoed only when learning is
+	// enabled so clients can report observed cost back via /v1/feedback.
+	Fingerprint string `json:"fingerprint,omitempty"`
+}
+
+// FeedbackRequest reports the observed runtime cost of a plan this server
+// recently predicted, keyed by the fingerprint echoed in PredictResponse.
+type FeedbackRequest struct {
+	Fingerprint           string  `json:"fingerprint"`
+	ObservedLatencyMs     float64 `json:"observed_latency_ms"`
+	ObservedThroughputEPS float64 `json:"observed_throughput_eps"`
+}
+
+// FeedbackResponse acknowledges an ingested feedback sample and reports the
+// closed-loop state it landed in.
+type FeedbackResponse struct {
+	Accepted    bool   `json:"accepted"`
+	Fingerprint string `json:"fingerprint"`
+	// StoreSize / Seen describe the reservoir after ingest: retained
+	// samples vs. total ever offered.
+	StoreSize int    `json:"store_size"`
+	Seen      uint64 `json:"seen"`
+	// DriftMAPE / DriftPearsonR are the detector's sliding-window stats at
+	// ingest time (NaN rendered as 0 until the window has enough samples).
+	DriftMAPE     float64 `json:"drift_mape"`
+	DriftPearsonR float64 `json:"drift_pearson_r"`
 }
 
 // TuneRequest asks the optimizer to pick parallelism degrees for a logical
@@ -151,6 +177,21 @@ type HealthResponse struct {
 	// Circuit is the breaker position: "closed", "half-open" or "open".
 	Circuit string    `json:"circuit,omitempty"`
 	Model   ModelInfo `json:"model"`
+	// Learn summarizes the closed-loop learner, present only when learning
+	// is enabled.
+	Learn *LearnInfo `json:"learn,omitempty"`
+}
+
+// LearnInfo is the /healthz view of the continual-learning loop.
+type LearnInfo struct {
+	StoreSize     int     `json:"store_size"`
+	Seen          uint64  `json:"seen"`
+	DriftMAPE     float64 `json:"drift_mape"`
+	DriftPearsonR float64 `json:"drift_pearson_r"`
+	DriftTrips    uint64  `json:"drift_trips"`
+	FineTunes     uint64  `json:"fine_tunes"`
+	Promotions    uint64  `json:"promotions"`
+	Rollbacks     uint64  `json:"rollbacks"`
 }
 
 // ModelInfo identifies the active model revision.
