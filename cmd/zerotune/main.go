@@ -12,6 +12,7 @@
 //	zerotune gateway    -addr 127.0.0.1:8090 {-backends http://h1:p1,http://h2:p2 | -replicas 3 -model model.json} [-route affinity] [-queue-policy fcfs] [-slo gold=200:400:10,bronze=50]
 //	zerotune chaos      -model model.json [-seed 1] [-requests 120] [-log events.log] [-circuit-threshold 3] [-probe-every 4]
 //	zerotune bench      -model model.json [-seed 1] [-rate 200] [-duration 10s] [-arrival poisson] [-sweep] [-record trace.ztrc | -replay trace.ztrc] [-report report.json]
+//	zerotune plan       [-model model.json | -service encode=25µs,...] [-replicas 1,3] [-p99 50ms] [-rate 0] [-trace plan.trace] [-report plan.json]
 //	zerotune simulate   -query linear -rate 100000 [-workers 4] [-degrees 1,4,4,1 | -plan plan.json]
 //	zerotune validate   -query linear -rate 5000 [-workers 2] [-duration 5000]
 //	zerotune experiment <id> [-scale quick|default|paper] [-csv dir]
@@ -61,6 +62,8 @@ func main() {
 		err = runChaos(os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
+	case "plan":
+		err = runPlan(os.Args[2:])
 	case "simulate":
 		err = runSimulate(os.Args[2:])
 	case "validate":
@@ -92,6 +95,7 @@ commands:
   gateway     front N serve replicas with routing, SLO admission and health probing
   chaos       replay a seeded fault schedule against an in-process server
   bench       open-loop load harness: seeded arrivals, RPS sweeps, trace record/replay
+  plan        capacity planner: simulate the serve tier, binary-search max RPS under a p99 SLO
   simulate    run the ground-truth engine on one plan and print its costs
   validate    cross-check the analytical engine against the event simulator
   experiment  regenerate a table or figure of the paper (id or "all")`)

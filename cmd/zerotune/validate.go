@@ -1,6 +1,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 
@@ -22,6 +23,7 @@ func runValidate(args []string) error {
 	rate := fs.Float64("rate", 5000, "source event rate (ev/s); keep modest — desim simulates every tuple")
 	workers := fs.Int("workers", 2, "cluster size")
 	duration := fs.Float64("duration", 5000, "simulated horizon (ms) after warm-up")
+	maxEvents := fs.Int("max-events", 0, "event budget before the simulation aborts (0 = desim's default)")
 	_ = fs.Parse(args)
 
 	q, err := buildQuery(*query, *rate)
@@ -44,7 +46,14 @@ func runValidate(args []string) error {
 	if err != nil {
 		return err
 	}
-	dis, err := desim.Run(p.Clone(), c, desim.Options{Cost: &cm, DurationMs: *duration, WarmupMs: *duration / 5})
+	dis, err := desim.Run(p.Clone(), c, desim.Options{
+		Cost: &cm, DurationMs: *duration, WarmupMs: *duration / 5, MaxEvents: *maxEvents,
+	})
+	if errors.Is(err, desim.ErrEventBudget) {
+		return fmt.Errorf("%w\nthe event budget bounds runaway simulations: the configuration is likely "+
+			"past saturation (queues growing without bound). Lower -rate, shorten -duration, or raise "+
+			"-max-events if the run is genuinely expected to be this large", err)
+	}
 	if err != nil {
 		return err
 	}

@@ -67,10 +67,10 @@ type tuple struct {
 	birthMs float64
 }
 
-// event is a scheduled simulation step.
+// event is a scheduled simulation step. Determinism tie-breaking lives in
+// the shared Timeline (insertion order at equal times).
 type event struct {
 	atMs float64
-	seq  int // tie-breaker for determinism
 	kind eventKind
 	op   int // chain-group head op ID (arrival) or op ID (timer)
 	inst int
@@ -87,27 +87,10 @@ const (
 	evSample // periodic queue-occupancy sample for saturation detection
 )
 
-// eventHeap orders events by time then sequence number.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].atMs != h[j].atMs {
-		return h[i].atMs < h[j].atMs
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
-// Run executes the plan tuple-by-tuple and returns measured metrics.
+// Run executes the plan tuple-by-tuple and returns measured metrics. When
+// the event budget aborts a diverging run, the returned error wraps
+// ErrEventBudget and the metrics are partial — never read them as a
+// converged measurement.
 func Run(p *queryplan.PQP, c *cluster.Cluster, opts Options) (*Metrics, error) {
 	if opts.DurationMs <= 0 {
 		opts = DefaultOptions()

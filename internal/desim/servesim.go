@@ -1,0 +1,930 @@
+package desim
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"zerotune/internal/fault"
+	"zerotune/internal/gateway"
+	"zerotune/internal/loadgen"
+	"zerotune/internal/serve"
+)
+
+// This file is the serve-tier discrete-event simulator: the same gateway →
+// replica → micro-batcher → cache → forward-pass pipeline the live system
+// runs, executed against a virtual clock. It consumes the exact request
+// schedules internal/loadgen generates for `zerotune bench`, so one seeded
+// workload can be replayed against the simulator or the live server and the
+// two compared — that pairing is what the calibration tests pin down.
+//
+// Determinism contract: SimulateServe is a pure function of (schedule,
+// ServeConfig). All randomness (forward-pass failures) comes from the fault
+// package's seeded uniform streams, the virtual clock is integer
+// nanoseconds, and equal-time events process in scheduling order via the
+// shared Timeline — so the same seed and spec produce byte-identical
+// decision traces, which CI enforces with cmp.
+//
+// Fidelity notes (where the model simplifies the live tier):
+//   - The per-replica cache is one fingerprint-keyed LRU standing in for
+//     both the body-level response cache and the plan-fingerprint cache
+//     (bench workloads are keyed by body bytes, where the two coincide).
+//   - Coalesced followers complete together with their leader; a failed
+//     leader degrades its followers instead of replaying the live
+//     stale-entry re-acquire loop.
+//   - Request deadlines are not modeled: outcomes are 200 (ok or degraded)
+//     or 429 (admission / queue backpressure).
+
+// ServiceModel is the simulator's cost table: integer nanoseconds of
+// virtual time per pipeline stage. The forward pass is batch-size-linear,
+// matching the fused-batch engine's measured profile
+// (serve.MeasureServiceTimings fits the same line on the live model).
+type ServiceModel struct {
+	// GatewayNs is routing + admission overhead per request.
+	GatewayNs int64 `json:"gateway_ns"`
+	// EncodeNs is decode + placement + featurization per request.
+	EncodeNs int64 `json:"encode_ns"`
+	// ForwardBaseNs + n·ForwardPerItemNs is the cost of a batch of n.
+	ForwardBaseNs    int64 `json:"forward_base_ns"`
+	ForwardPerItemNs int64 `json:"forward_per_item_ns"`
+	// CacheHitNs answers a request from a completed cache entry.
+	CacheHitNs int64 `json:"cache_hit_ns"`
+	// FallbackNs answers a request from the degraded-mode estimator.
+	FallbackNs int64 `json:"fallback_ns"`
+}
+
+// DefaultServiceModel carries rough constants from the committed BENCH
+// snapshots (fused-batch engine on one core). Real capacity questions
+// should calibrate against the served model via serve.MeasureServiceTimings.
+func DefaultServiceModel() ServiceModel {
+	return ServiceModel{
+		GatewayNs:        2_000,
+		EncodeNs:         25_000,
+		ForwardBaseNs:    150_000,
+		ForwardPerItemNs: 6_000,
+		CacheHitNs:       3_000,
+		FallbackNs:       10_000,
+	}
+}
+
+// ServiceModelFromTimings lifts live-measured predict-path timings into the
+// simulator's cost table, keeping the defaults for the stages the
+// measurement does not cover.
+func ServiceModelFromTimings(t serve.ServiceTimings) ServiceModel {
+	m := DefaultServiceModel()
+	if t.EncodeNs > 0 {
+		m.EncodeNs = t.EncodeNs
+	}
+	if t.ForwardBaseNs > 0 {
+		m.ForwardBaseNs = t.ForwardBaseNs
+	}
+	if t.ForwardPerItemNs > 0 {
+		m.ForwardPerItemNs = t.ForwardPerItemNs
+	}
+	if t.CacheHitNs > 0 {
+		m.CacheHitNs = t.CacheHitNs
+	}
+	return m
+}
+
+// ServeConfig describes one simulated serve tier — the counterfactual knobs
+// a `zerotune plan` run varies. The zero value of each field means "the
+// live tier's default" (serve.Default*), so a zero ServeConfig simulates a
+// single stock replica.
+type ServeConfig struct {
+	// Replicas is the pool size behind the gateway (default 1).
+	Replicas int
+	// BatchWindow is the micro-batcher's collection window (0 →
+	// serve.DefaultBatchWindow; negative → no waiting, opportunistic flush).
+	BatchWindow time.Duration
+	// MaxBatch flushes a collecting batch early at this size (default
+	// serve.DefaultMaxBatch).
+	MaxBatch int
+	// QueueDepth bounds each replica's submitted-but-unflushed queue
+	// (default serve.DefaultQueueFactor × MaxBatch); overflow answers 429.
+	QueueDepth int
+	// CacheEntries bounds each replica's fingerprint LRU (0 →
+	// serve.DefaultCacheSize; negative disables caching).
+	CacheEntries int
+	// Route selects the gateway routing policy (default affinity —
+	// rendezvous hashing via gateway.AffinityScore, the live function).
+	Route gateway.RoutePolicy
+	// Classes configures per-SLO-class token-bucket admission (default:
+	// one unlimited best-effort class, mirroring gateway.DefaultClasses).
+	Classes []gateway.ClassConfig
+	// Service is the stage cost table (zero → DefaultServiceModel).
+	Service ServiceModel
+	// CircuitThreshold trips a replica's breaker after this many
+	// consecutive forward failures (0 → serve.DefaultCircuitThreshold;
+	// negative disables).
+	CircuitThreshold int
+	// CircuitProbeEvery admits every Nth rejected request as the half-open
+	// probe (default 100). Count-based, like chaos runs, so breaker
+	// transitions are a pure function of the request sequence.
+	CircuitProbeEvery int
+	// FailureProb is the per-flush probability of a forward-pass failure,
+	// drawn from the seeded "desim.forward" uniform stream (default 0).
+	FailureProb float64
+	// Seed drives the failure stream (the arrival schedule carries its own
+	// seed inside the loadgen.Spec it was built from).
+	Seed uint64
+	// MaxEvents aborts runaway simulations with ErrEventBudget
+	// (default 10,000,000).
+	MaxEvents int
+	// Trace receives the decision trace; nil disables tracing.
+	Trace io.Writer
+}
+
+// withDefaults fills unset knobs from the live tier's constants.
+func (c ServeConfig) withDefaults() ServeConfig {
+	if c.Replicas < 1 {
+		c.Replicas = 1
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = serve.DefaultBatchWindow
+	} else if c.BatchWindow < 0 {
+		c.BatchWindow = 0
+	}
+	if c.MaxBatch < 1 {
+		c.MaxBatch = serve.DefaultMaxBatch
+	}
+	if c.QueueDepth < c.MaxBatch {
+		c.QueueDepth = serve.DefaultQueueFactor * c.MaxBatch
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = serve.DefaultCacheSize
+	}
+	if c.Route == "" {
+		c.Route = gateway.RouteAffinity
+	}
+	if len(c.Classes) == 0 {
+		c.Classes = gateway.DefaultClasses()
+	}
+	if c.Service == (ServiceModel{}) {
+		c.Service = DefaultServiceModel()
+	}
+	if c.CircuitThreshold == 0 {
+		c.CircuitThreshold = serve.DefaultCircuitThreshold
+	} else if c.CircuitThreshold < 0 {
+		c.CircuitThreshold = 0 // disabled
+	}
+	if c.CircuitProbeEvery < 1 {
+		c.CircuitProbeEvery = 100
+	}
+	if c.MaxEvents == 0 {
+		c.MaxEvents = 10_000_000
+	}
+	return c
+}
+
+// RequestOutcome is one simulated request's fate, with the decision context
+// (replica, cache, batch) that produced it.
+type RequestOutcome struct {
+	Seq     int    `json:"seq"`
+	Class   string `json:"class,omitempty"`
+	Replica int    `json:"replica"` // -1 when rejected before routing
+	Status  int    `json:"status"`
+	// Degraded marks fallback-estimator answers (breaker open or forward
+	// failure); they are 200s, like the live tier's.
+	Degraded bool `json:"degraded,omitempty"`
+	// CacheHit marks completed-entry hits; Coalesced marks followers that
+	// attached to an in-flight leader.
+	CacheHit  bool `json:"cache_hit,omitempty"`
+	Coalesced bool `json:"coalesced,omitempty"`
+	// BatchSize is the forward-pass batch this request rode (0 when it
+	// never reached the batcher).
+	BatchSize int `json:"batch_size,omitempty"`
+	// ArrivalNs is the intended send time (the schedule offset); DoneNs the
+	// virtual completion time; QueueWaitNs the enqueue→flush-start wait of
+	// batched leaders.
+	ArrivalNs   int64 `json:"arrival_ns"`
+	DoneNs      int64 `json:"done_ns"`
+	QueueWaitNs int64 `json:"queue_wait_ns,omitempty"`
+}
+
+// LatencyNs is the open-loop latency: completion − intended send.
+func (o RequestOutcome) LatencyNs() int64 { return o.DoneNs - o.ArrivalNs }
+
+// ReplicaStats aggregates one simulated replica.
+type ReplicaStats struct {
+	Name         string `json:"name"`
+	Requests     int    `json:"requests"`
+	Batches      int    `json:"batches"`
+	Inferences   int    `json:"inferences"`
+	CacheHits    int    `json:"cache_hits"`
+	Coalesced    int    `json:"coalesced"`
+	Evictions    int    `json:"evictions"`
+	QueueBusts   int    `json:"queue_busts"`
+	CircuitOpens int    `json:"circuit_opens"`
+	MaxQueue     int    `json:"max_queue"`
+}
+
+// ServeStats aggregates a run.
+type ServeStats struct {
+	Requests          int            `json:"requests"`
+	OK                int            `json:"ok"`
+	Degraded          int            `json:"degraded"`
+	AdmissionRejected int            `json:"admission_rejected"`
+	QueueRejected     int            `json:"queue_rejected"`
+	CacheHits         int            `json:"cache_hits"`
+	Coalesced         int            `json:"coalesced"`
+	Batches           int            `json:"batches"`
+	Inferences        int            `json:"inferences"`
+	CircuitOpens      int            `json:"circuit_opens"`
+	PerReplica        []ReplicaStats `json:"per_replica,omitempty"`
+}
+
+// RunResult is a completed simulation.
+type RunResult struct {
+	Outcomes []RequestOutcome
+	Stats    ServeStats
+	// EndNs is the virtual completion time of the last request.
+	EndNs int64
+	// Events is how many simulation events were processed.
+	Events int
+}
+
+// Results projects outcomes into loadgen's per-request record, so simulated
+// runs flow through the same percentile/report machinery as live bench
+// runs. Simulated latency has no send lag: Service equals Latency.
+func (r *RunResult) Results() []loadgen.Result {
+	out := make([]loadgen.Result, len(r.Outcomes))
+	for i, o := range r.Outcomes {
+		lat := time.Duration(o.LatencyNs())
+		out[i] = loadgen.Result{
+			Seq:     o.Seq,
+			Offset:  time.Duration(o.ArrivalNs),
+			Class:   o.Class,
+			Status:  o.Status,
+			Latency: lat,
+			Service: lat,
+		}
+	}
+	return out
+}
+
+// --- events -----------------------------------------------------------------
+
+type svArrive struct{ req int }
+
+type svAtReplica struct {
+	req     int
+	replica int
+}
+
+type svEnqueue struct {
+	req     int
+	replica int
+	probe   bool
+}
+
+type svBatchTimer struct {
+	replica int
+	gen     int
+}
+
+type svFlushDone struct {
+	replica int
+	batch   []*svItem
+	fail    bool
+}
+
+type svComplete struct {
+	req       int
+	status    int
+	degraded  bool
+	cacheHit  bool
+	coalesced bool
+	batchSize int
+	queueWait int64
+}
+
+// svItem is one request waiting in (or riding through) a replica's batcher.
+type svItem struct {
+	req        int
+	enqueuedNs int64
+	probe      bool
+	entry      *svCacheEntry // nil when caching is disabled
+}
+
+// --- replica-local state ----------------------------------------------------
+
+const (
+	replicaIdle = iota
+	replicaCollecting
+	replicaFlushing
+)
+
+type svReplica struct {
+	idx         int
+	name        string
+	mode        int
+	queue       []*svItem
+	batch       []*svItem
+	timerGen    int
+	outstanding int // routed-but-uncompleted, for least-loaded
+	cache       *svCache
+	breaker     svBreaker
+	stats       ReplicaStats
+}
+
+// svCache mirrors the live bounded LRU with single-flight semantics, keyed
+// by the request-body fingerprint.
+type svCacheEntry struct {
+	key     uint64
+	done    bool
+	waiters []*svItem // coalesced followers of an in-flight leader
+	// lruNext/lruPrev form the completed-entry LRU (front = most recent).
+	lruNext, lruPrev *svCacheEntry
+}
+
+type svCache struct {
+	max        int
+	m          map[uint64]*svCacheEntry
+	head, tail *svCacheEntry // completed-entry LRU
+	resident   int
+}
+
+func newSvCache(max int) *svCache {
+	return &svCache{max: max, m: make(map[uint64]*svCacheEntry)}
+}
+
+func (c *svCache) get(key uint64) *svCacheEntry { return c.m[key] }
+
+// touch moves a completed entry to the LRU front.
+func (c *svCache) touch(e *svCacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+func (c *svCache) pushFront(e *svCacheEntry) {
+	e.lruPrev = nil
+	e.lruNext = c.head
+	if c.head != nil {
+		c.head.lruPrev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+	c.resident++
+}
+
+func (c *svCache) unlink(e *svCacheEntry) {
+	if e.lruPrev != nil {
+		e.lruPrev.lruNext = e.lruNext
+	} else if c.head == e {
+		c.head = e.lruNext
+	}
+	if e.lruNext != nil {
+		e.lruNext.lruPrev = e.lruPrev
+	} else if c.tail == e {
+		c.tail = e.lruPrev
+	}
+	e.lruPrev, e.lruNext = nil, nil
+	c.resident--
+}
+
+// acquire returns (entry, leader): the live Cache.Acquire contract.
+func (c *svCache) acquire(key uint64) (*svCacheEntry, bool) {
+	if e := c.m[key]; e != nil {
+		return e, false
+	}
+	e := &svCacheEntry{key: key}
+	c.m[key] = e
+	return e, true
+}
+
+// complete marks a leader's entry done and LRU-inserts it, evicting beyond
+// the bound. Returns how many completed entries were evicted.
+func (c *svCache) complete(e *svCacheEntry) int {
+	e.done = true
+	e.waiters = nil
+	c.pushFront(e)
+	evicted := 0
+	for c.resident > c.max && c.tail != nil {
+		victim := c.tail
+		c.unlink(victim)
+		delete(c.m, victim.key)
+		evicted++
+	}
+	return evicted
+}
+
+// drop removes a failed leader's entry (the live stale-entry path).
+func (c *svCache) drop(e *svCacheEntry) {
+	if cur := c.m[e.key]; cur == e {
+		delete(c.m, e.key)
+	}
+}
+
+// svBreaker is the live consecutive-failure breaker's state machine on the
+// count-based probe schedule (the deterministic mode chaos runs use).
+type svBreaker struct {
+	threshold   int
+	probeEvery  int
+	state       serve.CircuitState
+	consecutive int
+	rejected    int
+}
+
+func (b *svBreaker) admit() (allowed, probe bool) {
+	if b.threshold <= 0 {
+		return true, false
+	}
+	switch b.state {
+	case serve.CircuitClosed:
+		return true, false
+	case serve.CircuitHalfOpen:
+		return false, false
+	default: // open
+		b.rejected++
+		if b.rejected%b.probeEvery == 0 {
+			b.state = serve.CircuitHalfOpen
+			return true, true
+		}
+		return false, false
+	}
+}
+
+func (b *svBreaker) abandonProbe() {
+	if b.state == serve.CircuitHalfOpen {
+		b.state = serve.CircuitOpen
+	}
+}
+
+func (b *svBreaker) recordSuccess() {
+	if b.threshold <= 0 {
+		return
+	}
+	b.state = serve.CircuitClosed
+	b.consecutive = 0
+}
+
+// recordFailure returns true when this failure opened the circuit.
+func (b *svBreaker) recordFailure() bool {
+	if b.threshold <= 0 {
+		return false
+	}
+	switch b.state {
+	case serve.CircuitHalfOpen:
+		b.state = serve.CircuitOpen
+		b.consecutive = 0
+		b.rejected = 0
+		return true
+	case serve.CircuitClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.state = serve.CircuitOpen
+			b.consecutive = 0
+			b.rejected = 0
+			return true
+		}
+	}
+	return false
+}
+
+// svBucket is the gateway's per-class token bucket on the virtual clock.
+type svBucket struct {
+	cfg    gateway.ClassConfig
+	tokens float64
+	lastNs int64
+	primed bool
+}
+
+func (b *svBucket) allow(nowNs int64) bool {
+	if b.cfg.Rate <= 0 {
+		return true
+	}
+	if b.primed {
+		b.tokens += float64(nowNs-b.lastNs) / 1e9 * b.cfg.Rate
+		if b.tokens > b.cfg.Burst {
+			b.tokens = b.cfg.Burst
+		}
+	}
+	b.lastNs = nowNs
+	b.primed = true
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// --- the simulator ----------------------------------------------------------
+
+type serveSim struct {
+	cfg      ServeConfig
+	sched    []loadgen.Request
+	keys     []uint64 // per-request body fingerprint
+	tl       Timeline
+	replicas []*svReplica
+	buckets  map[string]*svBucket
+	def      *svBucket
+	rrNext   int
+	flushes  uint64 // failure-stream cursor
+	outcomes []RequestOutcome
+	stats    ServeStats
+	trace    *decisionTrace
+	endNs    int64
+	events   int
+}
+
+// SimulateServe runs the schedule through the simulated serve tier and
+// returns per-request outcomes plus aggregate stats. It is deterministic:
+// equal (sched, cfg) produce identical results and byte-identical decision
+// traces. A budget abort returns partial results wrapped in ErrEventBudget.
+func SimulateServe(sched []loadgen.Request, cfg ServeConfig) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Replicas > 64 {
+		return nil, fmt.Errorf("desim: %d replicas exceed the routing bitmask width (64)", cfg.Replicas)
+	}
+	s := &serveSim{
+		cfg:      cfg,
+		sched:    sched,
+		keys:     make([]uint64, len(sched)),
+		outcomes: make([]RequestOutcome, len(sched)),
+		trace:    newDecisionTrace(cfg.Trace),
+	}
+	for i := range s.outcomes {
+		s.outcomes[i] = RequestOutcome{Seq: i, Replica: -1, Class: sched[i].Class, ArrivalNs: int64(sched[i].Offset)}
+	}
+	for i, r := range sched {
+		s.keys[i] = fnv1a64(r.Body)
+	}
+	for i := 0; i < cfg.Replicas; i++ {
+		rep := &svReplica{
+			idx:  i,
+			name: fmt.Sprintf("replica-%d", i),
+			breaker: svBreaker{
+				threshold:  cfg.CircuitThreshold,
+				probeEvery: cfg.CircuitProbeEvery,
+			},
+		}
+		if cfg.CacheEntries > 0 {
+			rep.cache = newSvCache(cfg.CacheEntries)
+		}
+		rep.stats.Name = rep.name
+		s.replicas = append(s.replicas, rep)
+	}
+	s.buckets = make(map[string]*svBucket, len(cfg.Classes)+1)
+	for _, cc := range cfg.Classes {
+		if cc.Name == "" {
+			return nil, fmt.Errorf("desim: SLO class with empty name")
+		}
+		if _, dup := s.buckets[cc.Name]; dup {
+			return nil, fmt.Errorf("desim: duplicate SLO class %q", cc.Name)
+		}
+		if cc.Rate > 0 && cc.Burst < 1 {
+			cc.Burst = cc.Rate
+			if cc.Burst < 1 {
+				cc.Burst = 1
+			}
+		}
+		s.buckets[cc.Name] = &svBucket{cfg: cc, tokens: cc.Burst}
+	}
+	if _, ok := s.buckets[gateway.DefaultClassName]; !ok {
+		s.buckets[gateway.DefaultClassName] = &svBucket{cfg: gateway.ClassConfig{Name: gateway.DefaultClassName}}
+	}
+	s.def = s.buckets[gateway.DefaultClassName]
+
+	for i, r := range sched {
+		s.tl.Schedule(float64(int64(r.Offset)), svArrive{req: i})
+	}
+	err := s.run()
+	if ferr := s.trace.flush(); ferr != nil && err == nil {
+		err = fmt.Errorf("desim: flush decision trace: %w", ferr)
+	}
+	res := &RunResult{Outcomes: s.outcomes, Stats: s.stats, EndNs: s.endNs, Events: s.events}
+	for _, rep := range s.replicas {
+		res.Stats.PerReplica = append(res.Stats.PerReplica, rep.stats)
+	}
+	return res, err
+}
+
+func (s *serveSim) run() error {
+	for s.tl.Len() > 0 {
+		_, payload, _ := s.tl.Pop()
+		s.events++
+		if s.events > s.cfg.MaxEvents {
+			return fmt.Errorf("desim: %w (%d events); offered load likely diverges", ErrEventBudget, s.cfg.MaxEvents)
+		}
+		now := int64(s.tl.Now())
+		switch e := payload.(type) {
+		case svArrive:
+			s.onArrive(now, e.req)
+		case svAtReplica:
+			s.onAtReplica(now, e.req, e.replica)
+		case svEnqueue:
+			s.onEnqueue(now, e.req, e.replica, e.probe)
+		case svBatchTimer:
+			rep := s.replicas[e.replica]
+			if rep.mode == replicaCollecting && rep.timerGen == e.gen {
+				s.beginFlush(now, rep)
+			}
+		case svFlushDone:
+			s.onFlushDone(now, e)
+		case svComplete:
+			s.onComplete(now, e)
+		}
+	}
+	return nil
+}
+
+// onArrive is the gateway stage: admission, then routing.
+func (s *serveSim) onArrive(now int64, req int) {
+	r := s.sched[req]
+	s.stats.Requests++
+	s.trace.reqEvent(now, "arrive", req, "class", className(r.Class), "key", s.keys[req])
+	bucket := s.buckets[r.Class]
+	if bucket == nil {
+		bucket = s.def
+	}
+	if !bucket.allow(now) {
+		s.stats.AdmissionRejected++
+		s.trace.reqEvent(now, "admit", req, "ok", false)
+		s.complete(now, now, svComplete{req: req, status: 429})
+		return
+	}
+	s.trace.reqEvent(now, "admit", req, "ok", true)
+	rep := s.route(req)
+	rep.outstanding++
+	rep.stats.Requests++
+	s.outcomes[req].Replica = rep.idx
+	s.trace.reqEvent(now, "route", req, "replica", rep.idx, "policy", string(s.cfg.Route))
+	s.tl.Schedule(float64(now+s.cfg.Service.GatewayNs), svAtReplica{req: req, replica: rep.idx})
+}
+
+// route picks a replica with the gateway's policies. Every simulated
+// replica is healthy, so affinity always lands on the rendezvous owner.
+func (s *serveSim) route(req int) *svReplica {
+	switch s.cfg.Route {
+	case gateway.RouteRoundRobin:
+		rep := s.replicas[s.rrNext%len(s.replicas)]
+		s.rrNext++
+		return rep
+	case gateway.RouteLeastLoaded:
+		best := s.replicas[0]
+		for _, rep := range s.replicas[1:] {
+			if rep.outstanding < best.outstanding {
+				best = rep
+			}
+		}
+		return best
+	default: // affinity: rendezvous hashing with the live scoring function
+		best, bestScore := s.replicas[0], gateway.AffinityScore(s.keys[req], s.replicas[0].name)
+		for _, rep := range s.replicas[1:] {
+			if sc := gateway.AffinityScore(s.keys[req], rep.name); sc > bestScore {
+				best, bestScore = rep, sc
+			}
+		}
+		return best
+	}
+}
+
+// onAtReplica is the replica's front door: completed-entry cache hits
+// answer immediately; the breaker gates the learned path; everything else
+// heads for the encoder.
+func (s *serveSim) onAtReplica(now int64, req, replica int) {
+	rep := s.replicas[replica]
+	if rep.cache != nil {
+		if e := rep.cache.get(s.keys[req]); e != nil && e.done {
+			rep.cache.touch(e)
+			rep.stats.CacheHits++
+			s.stats.CacheHits++
+			s.trace.reqEvent(now, "cache", req, "replica", replica, "result", "hit")
+			s.complete(now, now+s.cfg.Service.CacheHitNs, svComplete{req: req, status: 200, cacheHit: true})
+			return
+		}
+	}
+	allowed, probe := rep.breaker.admit()
+	if !allowed {
+		s.trace.reqEvent(now, "breaker", req, "replica", replica, "action", "reject")
+		s.degrade(now, now+s.cfg.Service.FallbackNs, req, 0)
+		return
+	}
+	if probe {
+		s.trace.reqEvent(now, "breaker", req, "replica", replica, "action", "probe")
+	}
+	s.tl.Schedule(float64(now+s.cfg.Service.EncodeNs), svEnqueue{req: req, replica: replica, probe: probe})
+}
+
+// onEnqueue is the post-encode cache acquire + batcher submission.
+func (s *serveSim) onEnqueue(now int64, req, replica int, probe bool) {
+	rep := s.replicas[replica]
+	it := &svItem{req: req, enqueuedNs: now, probe: probe}
+	if rep.cache != nil {
+		e, leader := rep.cache.acquire(s.keys[req])
+		if !leader {
+			if e.done {
+				// Completed while this request encoded.
+				rep.cache.touch(e)
+				rep.stats.CacheHits++
+				s.stats.CacheHits++
+				s.trace.reqEvent(now, "cache", req, "replica", replica, "result", "hit")
+			} else {
+				e.waiters = append(e.waiters, it)
+				rep.stats.Coalesced++
+				s.stats.Coalesced++
+				s.trace.reqEvent(now, "cache", req, "replica", replica, "result", "coalesce")
+				if probe {
+					rep.breaker.abandonProbe()
+				}
+				return
+			}
+			if probe {
+				rep.breaker.abandonProbe()
+			}
+			s.complete(now, now+s.cfg.Service.CacheHitNs, svComplete{req: req, status: 200, cacheHit: true, coalesced: true})
+			return
+		}
+		it.entry = e
+		s.trace.reqEvent(now, "cache", req, "replica", replica, "result", "miss")
+	}
+	if len(rep.queue) >= s.cfg.QueueDepth {
+		rep.stats.QueueBusts++
+		s.stats.QueueRejected++
+		s.trace.reqEvent(now, "reject", req, "replica", replica, "reason", "queue_full")
+		if it.entry != nil {
+			rep.cache.drop(it.entry)
+		}
+		if probe {
+			rep.breaker.abandonProbe()
+		}
+		s.complete(now, now, svComplete{req: req, status: 429})
+		return
+	}
+	rep.queue = append(rep.queue, it)
+	if len(rep.queue) > rep.stats.MaxQueue {
+		rep.stats.MaxQueue = len(rep.queue)
+	}
+	s.trace.reqEvent(now, "enqueue", req, "replica", replica, "depth", len(rep.queue))
+	switch rep.mode {
+	case replicaIdle:
+		s.beginCollect(now, rep)
+	case replicaCollecting:
+		if len(rep.batch) < s.cfg.MaxBatch {
+			rep.batch = append(rep.batch, rep.queue[0])
+			rep.queue = rep.queue[1:]
+			if len(rep.batch) == s.cfg.MaxBatch {
+				s.beginFlush(now, rep)
+			}
+		}
+	}
+}
+
+// beginCollect opens a collection window: the flush loop popped its first
+// item and now waits (up to BatchWindow) for companions.
+func (s *serveSim) beginCollect(now int64, rep *svReplica) {
+	n := len(rep.queue)
+	if n > s.cfg.MaxBatch {
+		n = s.cfg.MaxBatch
+	}
+	rep.batch = append(rep.batch, rep.queue[:n]...)
+	rep.queue = rep.queue[n:]
+	s.trace.repEvent(now, "collect", rep.idx, "size", len(rep.batch))
+	if len(rep.batch) == s.cfg.MaxBatch || s.cfg.BatchWindow <= 0 {
+		s.beginFlush(now, rep)
+		return
+	}
+	rep.mode = replicaCollecting
+	rep.timerGen++
+	s.tl.Schedule(float64(now+int64(s.cfg.BatchWindow)), svBatchTimer{replica: rep.idx, gen: rep.timerGen})
+}
+
+// beginFlush runs the batched forward pass; the failure draw is one seeded
+// uniform per flush.
+func (s *serveSim) beginFlush(now int64, rep *svReplica) {
+	batch := rep.batch
+	rep.batch = nil
+	rep.mode = replicaFlushing
+	rep.timerGen++ // invalidate any pending window timer
+	s.flushes++
+	fail := s.cfg.FailureProb > 0 &&
+		fault.Uniform(s.cfg.Seed, "desim.forward", s.flushes) < s.cfg.FailureProb
+	dur := s.cfg.Service.ForwardBaseNs + int64(len(batch))*s.cfg.Service.ForwardPerItemNs
+	rep.stats.Batches++
+	rep.stats.Inferences += len(batch)
+	s.stats.Batches++
+	s.stats.Inferences += len(batch)
+	s.trace.repEvent(now, "flush", rep.idx, "size", len(batch), "service", dur)
+	s.tl.Schedule(float64(now+dur), svFlushDone{replica: rep.idx, batch: batch, fail: fail})
+}
+
+// onFlushDone completes a batch (and every coalesced follower), feeds the
+// breaker, and starts the next collection if work queued up meanwhile.
+func (s *serveSim) onFlushDone(now int64, e svFlushDone) {
+	rep := s.replicas[e.replica]
+	s.trace.repEvent(now, "flushdone", rep.idx, "size", len(e.batch), "ok", !e.fail)
+	for _, it := range e.batch {
+		wait := maxInt64ns(0, now-it.enqueuedNs-(s.cfg.Service.ForwardBaseNs+int64(len(e.batch))*s.cfg.Service.ForwardPerItemNs))
+		if e.fail {
+			// The live leader's finishPredict: record the failure, answer
+			// from the fallback, drop the stale entry; followers degrade too.
+			opened := rep.breaker.recordFailure()
+			if opened {
+				rep.stats.CircuitOpens++
+				s.stats.CircuitOpens++
+				s.trace.repEvent(now, "circuit", rep.idx, "state", "open")
+			}
+			s.degrade(now, now+s.cfg.Service.FallbackNs, it.req, len(e.batch))
+			if it.entry != nil {
+				for _, w := range it.entry.waiters {
+					s.degrade(now, now+s.cfg.Service.FallbackNs, w.req, len(e.batch))
+				}
+				rep.cache.drop(it.entry)
+			}
+			continue
+		}
+		rep.breaker.recordSuccess()
+		s.complete(now, now, svComplete{req: it.req, status: 200, batchSize: len(e.batch), queueWait: wait})
+		if it.entry != nil {
+			for _, w := range it.entry.waiters {
+				s.complete(now, now, svComplete{req: w.req, status: 200, coalesced: true, batchSize: len(e.batch)})
+			}
+			evicted := rep.cache.complete(it.entry)
+			rep.stats.Evictions += evicted
+		}
+	}
+	if len(rep.queue) > 0 {
+		rep.mode = replicaIdle
+		s.beginCollect(now, rep)
+	} else {
+		rep.mode = replicaIdle
+	}
+}
+
+// degrade answers a request from the simulated fallback estimator.
+func (s *serveSim) degrade(now, doneNs int64, req, batchSize int) {
+	s.complete(now, doneNs, svComplete{req: req, status: 200, degraded: true, batchSize: batchSize})
+}
+
+// complete schedules the request's completion event at doneNs, so outcome
+// recording (and its trace line) happens in virtual-time order.
+func (s *serveSim) complete(now, doneNs int64, c svComplete) {
+	if doneNs < now {
+		doneNs = now
+	}
+	s.tl.Schedule(float64(doneNs), c)
+}
+
+func (s *serveSim) onComplete(now int64, c svComplete) {
+	o := &s.outcomes[c.req]
+	o.Status = c.status
+	o.Degraded = c.degraded
+	o.CacheHit = c.cacheHit
+	o.Coalesced = c.coalesced
+	o.BatchSize = c.batchSize
+	o.DoneNs = now
+	o.QueueWaitNs = c.queueWait
+	if o.Replica >= 0 {
+		s.replicas[o.Replica].outstanding--
+	}
+	switch {
+	case c.status == 200 && c.degraded:
+		s.stats.Degraded++
+		s.stats.OK++
+	case c.status == 200:
+		s.stats.OK++
+	}
+	if now > s.endNs {
+		s.endNs = now
+	}
+	s.trace.reqEvent(now, "complete", c.req,
+		"status", c.status, "latency", o.LatencyNs(), "batch", c.batchSize,
+		"hit", c.cacheHit, "degraded", c.degraded)
+}
+
+// className renders the default for unclassed requests, keeping trace
+// fields non-empty.
+func className(c string) string {
+	if c == "" {
+		return gateway.DefaultClassName
+	}
+	return c
+}
+
+// fnv1a64 fingerprints a request body — the same keyed view of a request
+// the gateway's affinity router and the body-level response cache share.
+func fnv1a64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+func maxInt64ns(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

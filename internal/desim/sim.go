@@ -1,7 +1,6 @@
 package desim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -67,8 +66,7 @@ type sim struct {
 	outPerIn  map[int]float64        // analytical amortization factor for service times
 	probes    map[int]float64
 
-	events    eventHeap
-	seq       int
+	tl        Timeline // virtual clock in milliseconds
 	nowMs     float64
 	processed int
 
@@ -159,22 +157,22 @@ func newSim(p *queryplan.PQP, c *cluster.Cluster, cm *simulator.CostModel, opts 
 }
 
 func (s *sim) schedule(e *event) {
-	s.seq++
-	e.seq = s.seq
-	heap.Push(&s.events, e)
+	s.tl.Schedule(e.atMs, e)
 }
 
-// run drains the event loop.
+// run drains the event loop. A budget abort returns the metrics accumulated
+// so far alongside an error wrapping ErrEventBudget — partial by definition.
 func (s *sim) run() (*Metrics, error) {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*event)
+	for s.tl.Len() > 0 {
+		_, payload, _ := s.tl.Pop()
+		e := payload.(*event)
 		s.nowMs = e.atMs
 		if s.nowMs > s.endMs+1 {
 			break
 		}
 		s.processed++
 		if s.processed > s.opts.MaxEvents {
-			return nil, fmt.Errorf("desim: event budget exceeded (%d); configuration likely diverging", s.opts.MaxEvents)
+			return s.metrics(), fmt.Errorf("desim: %w (%d events); configuration likely diverging", ErrEventBudget, s.opts.MaxEvents)
 		}
 		switch e.kind {
 		case evArrival:

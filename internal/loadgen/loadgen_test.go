@@ -339,7 +339,7 @@ func TestRunAndStepReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st := buildStep(s.Rate, s.Duration, results)
+	st := BuildStep(s.Rate, s.Duration, results)
 	if st.Requests != len(reqs) {
 		t.Fatalf("step counted %d requests, ran %d", st.Requests, len(reqs))
 	}
@@ -448,14 +448,15 @@ func TestSweepLocatesKnee(t *testing.T) {
 	if len(rep.Steps) != 2 {
 		t.Fatalf("sweep ran %d steps, want early stop after 2: %+v", len(rep.Steps), rep.Steps)
 	}
-	if !rep.Saturated || rep.KneeRPS != 250 {
-		t.Fatalf("saturated=%v knee=%g, want knee at 250 rps", rep.Saturated, rep.KneeRPS)
+	if !rep.Saturated || rep.KneeRPS != 250 || rep.KneeUpperRPS != 500 {
+		t.Fatalf("saturated=%v knee=%g upper=%g, want knee bracketed (250, 500]",
+			rep.Saturated, rep.KneeRPS, rep.KneeUpperRPS)
 	}
 	if rep.Steps[0].OK != 49 || rep.Steps[1].OK != 11 {
 		t.Fatalf("step OKs = %d/%d, want 49/11", rep.Steps[0].OK, rep.Steps[1].OK)
 	}
-	if !strings.Contains(rep.Table(), "saturation knee: ~250") {
-		t.Fatalf("table missing knee verdict:\n%s", rep.Table())
+	if !strings.Contains(rep.Table(), "saturation knee: between 250 and 500 req/s") {
+		t.Fatalf("table missing knee interval verdict:\n%s", rep.Table())
 	}
 
 	// A target with headroom never saturates. (Rates are high enough that

@@ -100,8 +100,11 @@ type StepReport struct {
 	PerClass map[string]ClassReport `json:"per_class,omitempty"`
 }
 
-// buildStep aggregates one run's results.
-func buildStep(offered float64, wall time.Duration, results []Result) StepReport {
+// BuildStep aggregates one run's results into a step summary. Exported so
+// the serve-tier simulator (internal/desim) reports its virtual runs through
+// the same percentile machinery live bench runs use — a plan table and a
+// bench table disagree only where the model does, never in the arithmetic.
+func BuildStep(offered float64, wall time.Duration, results []Result) StepReport {
 	st := StepReport{
 		OfferedRPS: offered,
 		Requests:   len(results),
@@ -187,6 +190,12 @@ type Report struct {
 	// goodput fraction before the first failing step; 0 when the sweep
 	// never saturated (or mode != sweep).
 	KneeRPS float64 `json:"knee_rps,omitempty"`
+	// KneeUpperRPS is the first offered rate that failed the goodput
+	// fraction: together with KneeRPS it brackets the true knee, which lies
+	// somewhere in (KneeRPS, KneeUpperRPS]. A bare KneeRPS overstates
+	// certainty — with a coarse step factor the capacity could be nearly
+	// double the last sustaining rate. 0 when the sweep never saturated.
+	KneeUpperRPS float64 `json:"knee_upper_rps,omitempty"`
 	// Saturated reports whether a sweep actually found the knee.
 	Saturated bool `json:"saturated,omitempty"`
 	// Benchmarks is the benchjson-compatible projection of Steps.
@@ -199,7 +208,7 @@ func SingleStep(mode, target string, h TraceHeader, offered float64, wall time.D
 		Mode:   mode,
 		Target: target,
 		Trace:  h,
-		Steps:  []StepReport{buildStep(offered, wall, results)},
+		Steps:  []StepReport{BuildStep(offered, wall, results)},
 	}
 }
 
@@ -244,6 +253,9 @@ func (r *Report) Table() string {
 		fmt.Fprintf(&b, " %9.2f %9.2f\n", st.P99OverP50, st.P999OverP99)
 	}
 	switch {
+	case r.Saturated && r.KneeUpperRPS > 0:
+		fmt.Fprintf(&b, "saturation knee: between %.0f and %.0f req/s (last sustaining / first failing offered rates)\n",
+			r.KneeRPS, r.KneeUpperRPS)
 	case r.Saturated:
 		fmt.Fprintf(&b, "saturation knee: ~%.0f req/s (last step sustaining the goodput target)\n", r.KneeRPS)
 	case r.Mode == "sweep":

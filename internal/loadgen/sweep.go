@@ -80,11 +80,12 @@ func Sweep(ctx context.Context, base Spec, opts SweepOptions) (*Report, error) {
 		if err != nil {
 			return rep, err
 		}
-		st := buildStep(rate, opts.StepDuration, results)
+		st := BuildStep(rate, opts.StepDuration, results)
 		rep.Steps = append(rep.Steps, st)
 		if st.GoodputRPS < opts.GoodputFraction*rate {
 			rep.Saturated = true
-			rep.KneeRPS = lastGood // 0 when even the first step collapsed
+			rep.KneeRPS = lastGood  // 0 when even the first step collapsed
+			rep.KneeUpperRPS = rate // first failing rate: knee ∈ (KneeRPS, rate]
 			break
 		}
 		lastGood = rate

@@ -61,10 +61,10 @@ type Batcher struct {
 // batch to run (<= 0: forever).
 func NewBatcher(window time.Duration, max, queue int, deadline time.Duration, onBatch func(int)) *Batcher {
 	if max < 1 {
-		max = 64
+		max = DefaultMaxBatch
 	}
 	if queue < max {
-		queue = 4 * max
+		queue = DefaultQueueFactor * max
 	}
 	if onBatch == nil {
 		onBatch = func(int) {}

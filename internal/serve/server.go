@@ -109,13 +109,13 @@ type Options struct {
 // withDefaults fills unset options.
 func (o Options) withDefaults() Options {
 	if o.BatchWindow == 0 {
-		o.BatchWindow = 2 * time.Millisecond
+		o.BatchWindow = DefaultBatchWindow
 	}
 	if o.MaxBatch < 1 {
-		o.MaxBatch = 64
+		o.MaxBatch = DefaultMaxBatch
 	}
 	if o.CacheSize < 1 {
-		o.CacheSize = 4096
+		o.CacheSize = DefaultCacheSize
 	}
 	if o.RequestTimeout == 0 {
 		o.RequestTimeout = 30 * time.Second
@@ -123,12 +123,12 @@ func (o Options) withDefaults() Options {
 		o.RequestTimeout = 0
 	}
 	if o.CircuitThreshold == 0 {
-		o.CircuitThreshold = 5
+		o.CircuitThreshold = DefaultCircuitThreshold
 	} else if o.CircuitThreshold < 0 {
 		o.CircuitThreshold = 0 // disabled
 	}
 	if o.CircuitCooldown <= 0 {
-		o.CircuitCooldown = 5 * time.Second
+		o.CircuitCooldown = DefaultCircuitCooldown
 	}
 	return o
 }
